@@ -1,0 +1,165 @@
+"""Ablation A3 — block (BAIJ) vs scalar (AIJ) sparse storage.
+
+The paper stores multi-DOF systems in PETSc's MATMPIBAIJ: "much more
+efficient than the non-block version MATMPIAIJ, specifically for the
+multi-dof system" (Sec. II-D).  This ablation builds the same multi-DOF
+operator in both formats (scipy BSR with node-sized blocks vs plain CSR)
+and compares MATVEC throughput, plus the level-aware erosion counter
+ablation (Sec. II-B3): without the counter the morphological front moves
+faster through coarse elements, breaking physical uniformity.
+"""
+
+import time
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.erode_dilate import Stage, erode_dilate
+from repro.core.threshold import threshold_octree
+from repro.mesh.mesh import Mesh
+from repro.octree.build import uniform_tree
+from repro.octree.refine import refine
+
+from _report import format_table, report
+
+NDOF = 4
+
+
+def block_system(level=6, ndof=NDOF, seed=0):
+    """Multi-DOF operator with dense node-blocks (momentum-like coupling)."""
+    m = Mesh.from_tree(uniform_tree(2, level))
+    from repro.fem.assembly import assemble_matrix
+    from repro.fem.operators import mass_matrix, stiffness_matrix
+
+    S = assemble_matrix(
+        m, stiffness_matrix(m.elem_h(), 2) + mass_matrix(m.elem_h(), 2)
+    ).tocsr()
+    rng = np.random.default_rng(seed)
+    coupling = rng.standard_normal((ndof, ndof)) * 0.1 + np.eye(ndof)
+    A_csr = sp.kron(S, coupling, format="csr")
+    A_bsr = sp.kron(S, coupling, format="bsr")
+    assert A_bsr.blocksize == (ndof, ndof)
+    x = rng.standard_normal(A_csr.shape[0])
+    return A_csr, A_bsr, x
+
+
+@pytest.fixture(scope="module")
+def system():
+    return block_system()
+
+
+def test_csr_matvec_kernel(system, benchmark):
+    A_csr, _, x = system
+    benchmark(lambda: A_csr @ x)
+
+
+def test_bsr_matvec_kernel(system, benchmark):
+    _, A_bsr, x = system
+    benchmark(lambda: A_bsr @ x)
+
+
+def _front_radius(mesh, vec):
+    """Radius of the remaining +1 region after erosion of a centered disk."""
+    xy = mesh.dof_xy()
+    pos = vec > 0
+    if not np.any(pos):
+        return 0.0
+    return float(np.linalg.norm(xy[pos] - 0.5, axis=1).max())
+
+
+def test_ablation_block_and_counter_report(system, benchmark):
+    A_csr, A_bsr, x = system
+
+    def timeit(fn, reps=20):
+        best = np.inf
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    benchmark.pedantic(lambda: A_bsr @ x, rounds=5)
+    t_csr = timeit(lambda: A_csr @ x)
+    t_bsr = timeit(lambda: A_bsr @ x)
+    assert np.allclose(A_csr @ x, A_bsr @ x, atol=1e-10)
+    storage_csr = A_csr.data.nbytes + A_csr.indices.nbytes + A_csr.indptr.nbytes
+    storage_bsr = A_bsr.data.nbytes + A_bsr.indices.nbytes + A_bsr.indptr.nbytes
+    table_blk = format_table(
+        ["format", "MATVEC ms", "index+data bytes"],
+        [
+            ["AIJ (CSR, scalar entries)", round(t_csr * 1e3, 3), storage_csr],
+            [f"BAIJ (BSR, {NDOF}x{NDOF} blocks)", round(t_bsr * 1e3, 3),
+             storage_bsr],
+        ],
+    )
+
+    # --- level-counter ablation -------------------------------------------
+    t = uniform_tree(2, 4)
+    targets = t.levels.copy()
+    centers = t.centers() / float(1 << 19)
+    targets[centers[:, 0] > 0.5] = 6  # right half two levels finer
+    mesh = Mesh.from_tree(refine(t, targets))
+    phi = mesh.interpolate(
+        lambda x: np.tanh((np.linalg.norm(x - 0.5, axis=1) - 0.3) / 0.02)
+    )
+    bw = threshold_octree(phi, -0.8)
+    base = int(mesh.tree.levels.max())
+    with_counter = erode_dilate(mesh, bw, Stage.EROSION, 4, base)
+
+    def erode_no_counter(vec, steps):
+        """Ablated kernel: every interface element erodes every sweep,
+        regardless of its level (wait counters removed)."""
+        from repro.core.threshold import interface_elements
+
+        out = vec.copy()
+        en = mesh.nodes.elem_nodes
+        for _ in range(steps):
+            nodal = mesh.node_values(out)
+            trigger = interface_elements(mesh, out)
+            if np.any(trigger):
+                nodal_new = nodal.copy()
+                nodal_new[en[trigger].ravel()] = -1.0
+                out = nodal_new[mesh.nodes.node_of_dof]
+        return out
+
+    without_counter = erode_no_counter(bw, 4)
+    xy = mesh.dof_xy()
+
+    def side_radius(vec, side):
+        sel = (xy[:, 0] > 0.5) if side == "fine" else (xy[:, 0] <= 0.5)
+        pos = (vec > 0) & sel
+        if not np.any(pos):
+            return 0.0
+        return float(np.linalg.norm(xy[pos] - 0.5, axis=1).max())
+
+    rows = [
+        ["fine-side front radius (with counter)", "-",
+         round(side_radius(with_counter, "fine"), 3)],
+        ["coarse-side front radius (with counter)", "match",
+         round(side_radius(with_counter, "coarse"), 3)],
+        ["fine-side front radius (no counter)", "-",
+         round(side_radius(without_counter, "fine"), 3)],
+        ["coarse-side front radius (no counter)", "lags",
+         round(side_radius(without_counter, "coarse"), 3)],
+    ]
+    asym_with = abs(
+        side_radius(with_counter, "fine") - side_radius(with_counter, "coarse")
+    )
+    asym_without = abs(
+        side_radius(without_counter, "fine")
+        - side_radius(without_counter, "coarse")
+    )
+    table_cnt = format_table(["quantity", "expected", "measured"], rows)
+    report(
+        "ablation_block_counter",
+        "Block storage (BAIJ vs AIJ) and the level-aware erosion counter",
+        "Block-format MATVEC (same operator, same result):\n" + table_blk
+        + "\n\nLevel-aware counter (Sec. II-B3) on a mixed-level mesh "
+        "(levels 4 | 6): erosion fronts per side after 4 sweeps:\n"
+        + table_cnt
+        + f"\n\nfront asymmetry with counter: {asym_with:.3f}, without: "
+        f"{asym_without:.3f} — the counter keeps the physical erosion "
+        "speed uniform across resolution jumps.",
+    )
+    assert asym_with <= asym_without + 1e-12

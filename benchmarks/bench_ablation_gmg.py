@@ -1,0 +1,104 @@
+"""Ablation A2 — GMG vs Jacobi-CG for the variable-density pressure Poisson.
+
+The paper identifies the variable-coefficient PP-solve as the dominant cost
+and defers GMG to future work after finding AMG setup too expensive at scale
+(Sec. III, footnote 5).  This ablation quantifies the opportunity on the
+exact operator class — a 1/rho-coefficient Poisson problem with a 100:1
+density contrast across a drop interface — comparing Jacobi-preconditioned
+CG (the paper's production choice), GMG-preconditioned CG, and the V-cycle
+as a standalone solver.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.fem.assembly import apply_dirichlet, assemble_matrix, assemble_vector
+from repro.fem.basis import quad_point_coords
+from repro.fem.operators import load_vector, stiffness_matrix
+from repro.la.gmg import GeometricMultigrid
+from repro.la.krylov import cg
+from repro.la.precond import JacobiPreconditioner
+from repro.mesh.mesh import Mesh
+from repro.octree import morton
+from repro.octree.build import uniform_tree
+
+from _report import format_table, report
+
+
+def pp_system(level, contrast=100.0):
+    """Variable-density pressure Poisson: div( (1/rho) grad p ) = f."""
+    m = Mesh.from_tree(uniform_tree(2, level))
+    h = m.elem_h()
+    scale = float(1 << morton.MAX_DEPTH)
+    qp = quad_point_coords(m.tree.anchors / scale, h, 2).reshape(-1, 2)
+    rho = np.where(np.linalg.norm(qp - 0.5, axis=-1) < 0.25, contrast, 1.0)
+    inv_rho = (1.0 / rho).reshape(m.n_elems, -1)
+    A = assemble_matrix(m, stiffness_matrix(h, 2, inv_rho))
+    b = assemble_vector(m, load_vector(h, 2, 1.0))
+    mask = m.boundary_dof_mask()
+    return (m,) + apply_dirichlet(A, b, mask, np.zeros(m.n_dofs))
+
+
+@pytest.fixture(scope="module")
+def system():
+    return pp_system(6)
+
+
+def test_jacobi_cg_kernel(system, benchmark):
+    m, A, b = system
+    benchmark.pedantic(
+        lambda: cg(A, b, M=JacobiPreconditioner(A), tol=1e-9, maxiter=6000),
+        rounds=3,
+    )
+
+
+def test_gmg_cg_kernel(system, benchmark):
+    m, A, b = system
+    gmg = GeometricMultigrid(m, A, coarsest_level=2)
+    benchmark.pedantic(lambda: cg(A, b, M=gmg, tol=1e-9, maxiter=200), rounds=3)
+
+
+def test_ablation_gmg_report(benchmark):
+    rows = []
+    for level in (4, 5, 6):
+        m, A, b = pp_system(level)
+        t0 = time.perf_counter()
+        plain = cg(A, b, M=JacobiPreconditioner(A), tol=1e-9, maxiter=8000)
+        t_plain = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        gmg = GeometricMultigrid(m, A, coarsest_level=2)
+        t_setup = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pre = cg(A, b, M=gmg, tol=1e-9, maxiter=400)
+        t_gmg = time.perf_counter() - t0
+        assert plain.converged and pre.converged
+        assert np.allclose(pre.x, plain.x, atol=1e-5)
+        rows.append(
+            [m.n_dofs, plain.iterations, pre.iterations,
+             round(t_plain * 1e3, 1), round((t_setup + t_gmg) * 1e3, 1),
+             round(plain.iterations / pre.iterations, 1)]
+        )
+    benchmark.pedantic(lambda: pp_system(4), rounds=1)
+    table = format_table(
+        ["DOFs", "Jacobi-CG iters", "GMG-CG iters", "Jacobi-CG ms",
+         "GMG total ms (incl. setup)", "iteration ratio"],
+        rows,
+    )
+    report(
+        "ablation_gmg",
+        "GMG vs Jacobi-CG on the variable-density pressure Poisson "
+        "(100:1 contrast)",
+        table
+        + "\n\nJacobi-CG iterations grow with refinement; GMG-CG stays "
+        "nearly mesh-independent — the speedup the paper anticipates for "
+        "its dominant PP-solve (it used Jacobi-type iterative solvers in "
+        "production after rejecting AMG setup costs).",
+    )
+    # Mesh-independence of GMG vs growth of Jacobi-CG.
+    gmg_iters = [r[2] for r in rows]
+    jac_iters = [r[1] for r in rows]
+    assert max(gmg_iters) - min(gmg_iters) <= 4
+    assert jac_iters[-1] > 1.5 * jac_iters[0]
+    assert rows[-1][5] >= 5.0

@@ -1,0 +1,93 @@
+"""Ablation A5 — Hilbert vs Morton SFC ordering for partition locality.
+
+The paper's framework family (Dendro) supports Hilbert ordering because
+contiguous Hilbert chunks have smaller surface area than Morton chunks:
+fewer ghost nodes, less MATVEC communication.  This ablation measures the
+cross-partition adjacency fraction (ghost-traffic proxy) of both orderings
+on uniform and adaptive meshes and propagates the difference through the
+machine model's MATVEC communication term.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mesh.mesh import mesh_from_field
+from repro.octree.build import uniform_tree
+from repro.octree.hilbert import chunk_surface_ratio
+from repro.perf.machine import MachineModel
+
+from _report import format_table, report
+
+
+def adaptive_tree():
+    def phi(x):
+        return np.linalg.norm(x - 0.5, axis=1) - 0.3
+
+    return mesh_from_field(phi, 2, max_level=7, min_level=4, threshold=0.03).tree
+
+
+def test_hilbert_ratio_kernel(benchmark):
+    t = uniform_tree(2, 5)
+    benchmark.pedantic(
+        chunk_surface_ratio, args=(t.anchors, t.levels, 2, 8, "hilbert"),
+        rounds=3,
+    )
+
+
+def test_ablation_hilbert_report(benchmark):
+    rows = []
+    cases = [
+        ("uniform level 5", uniform_tree(2, 5)),
+        ("uniform level 6", uniform_tree(2, 6)),
+        ("adaptive (interface)", adaptive_tree()),
+    ]
+    benchmark.pedantic(
+        chunk_surface_ratio,
+        args=(cases[0][1].anchors, cases[0][1].levels, 2, 8, "hilbert"),
+        rounds=1,
+    )
+    # Power-of-4 part counts align chunk boundaries with quadrants for BOTH
+    # curves (identical partitions); the locality gap appears at the
+    # non-aligned counts a real scheduler produces.
+    for name, t in cases:
+        for nparts in (3, 6, 7, 12):
+            rm = chunk_surface_ratio(t.anchors, t.levels, 2, nparts, "morton")
+            rh = chunk_surface_ratio(t.anchors, t.levels, 2, nparts, "hilbert")
+            rows.append(
+                [name, nparts, round(rm, 4), round(rh, 4),
+                 round(100 * (1 - rh / rm), 1)]
+            )
+    table = format_table(
+        ["mesh", "parts", "Morton cross-adjacency", "Hilbert cross-adjacency",
+         "ghost reduction %"],
+        rows,
+    )
+
+    # Propagate through the MATVEC model: ghost surface scales with the
+    # cross-adjacency ratio.
+    m = MachineModel()
+    mean_red = np.mean([r[4] for r in rows]) / 100.0
+    t_m = m.matvec_time(13e6, 28672, ghost_coeff=6.0)
+    t_h = m.matvec_time(13e6, 28672, ghost_coeff=6.0 * (1 - mean_red))
+    model = format_table(
+        ["quantity", "Morton", "Hilbert"],
+        [
+            ["modeled MATVEC @ 28,672 procs (s)", round(t_m, 4), round(t_h, 4)],
+            ["mean ghost reduction", "-", f"{mean_red:.0%}"],
+        ],
+    )
+    report(
+        "ablation_hilbert",
+        "Hilbert vs Morton ordering: partition surface (ghost) comparison",
+        table + "\n\n" + model
+        + "\n\nHilbert chunks have no long jumps, so their boundaries are "
+        "smaller; at MATVEC-dominated scales the effect on wall time is "
+        "modest (communication is a minor share), matching why the paper "
+        "family treats ordering as a tuning knob rather than a headline.",
+    )
+    # Hilbert wins on average and in the clear majority of configurations
+    # (individual counts can favor Morton when a chunk cut happens to land
+    # on a quadrant boundary for one curve but not the other).
+    assert mean_red > 0.02
+    strictly = sum(1 for r in rows if r[3] < r[2])
+    assert strictly >= len(rows) * 2 // 3

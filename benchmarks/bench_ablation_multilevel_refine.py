@@ -1,0 +1,104 @@
+"""Ablation A1 — single-pass multi-level refine/coarsen (contribution #2)
+vs the level-by-level protocol of prior frameworks.
+
+The paper tailors octree refinement so the element sizes may drop many
+levels in one remeshing step, "in contrast [to] existing approaches, where
+refinement or coarsening of the octrees is done level by level."  This
+ablation measures both protocols producing *identical* meshes on an
+interface whose required depth jumps by up to 5 levels — the regime of a
+moving, suddenly-breaking interface.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.octree.build import uniform_tree
+from repro.octree.coarsen import coarsen
+from repro.octree.level_by_level import (
+    coarsen_level_by_level,
+    refine_level_by_level,
+)
+from repro.octree.refine import refine
+
+from _report import format_table, report
+
+
+def make_case(jump):
+    """Coarse base with an interface band needing `jump` extra levels."""
+    t = uniform_tree(2, 4)
+    centers = t.centers() / float(t.anchors.max() + t.sizes()[0])
+    band = np.abs(np.linalg.norm(centers - 0.5, axis=1) - 0.3) < 0.06
+    targets = t.levels.copy()
+    targets[band] = t.levels[band] + jump
+    return t, targets
+
+
+def _timeit(fn, *args, reps=5):
+    best = np.inf
+    out = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def test_single_pass_refine_kernel(benchmark):
+    t, targets = make_case(4)
+    benchmark(refine, t, targets)
+
+
+def test_level_by_level_refine_kernel(benchmark):
+    t, targets = make_case(4)
+    benchmark(refine_level_by_level, t, targets)
+
+
+def test_ablation_multilevel_report(benchmark):
+    rows = []
+    for jump in (1, 2, 3, 4, 5):
+        t, targets = make_case(jump)
+        t_multi, multi = _timeit(refine, t, targets)
+        t_lbl, (lbl, passes) = _timeit(refine_level_by_level, t, targets)
+        assert lbl == multi
+        rows.append(
+            [jump, len(multi), 1, passes, t_multi * 1e3, t_lbl * 1e3,
+             round(t_lbl / t_multi, 2)]
+        )
+    table_r = format_table(
+        ["level jump", "elements", "passes (ours)", "passes (baseline)",
+         "ours ms", "baseline ms", "slowdown"],
+        rows,
+    )
+
+    # Coarsening counterpart: deep collapse of a fine band.
+    rows_c = []
+    for drop in (1, 2, 3, 4):
+        t = uniform_tree(2, 6)
+        votes = np.maximum(t.levels - drop, 2)
+        t_multi, multi = _timeit(coarsen, t, votes)
+        t_lbl, (lbl, passes) = _timeit(coarsen_level_by_level, t, votes)
+        assert lbl == multi
+        rows_c.append(
+            [drop, len(multi), passes, t_multi * 1e3, t_lbl * 1e3,
+             round(t_lbl / t_multi, 2)]
+        )
+    table_c = format_table(
+        ["level drop", "elements", "baseline passes", "ours ms",
+         "baseline ms", "slowdown"],
+        rows_c,
+    )
+    benchmark.pedantic(refine, args=make_case(4), rounds=3)
+    report(
+        "ablation_multilevel",
+        "Single-pass multi-level refine/coarsen vs level-by-level baseline",
+        "Refinement (identical outputs asserted):\n" + table_r
+        + "\n\nCoarsening:\n" + table_c
+        + "\n\nThe baseline's pass count — and the intermediate grids each "
+        "pass rebuilds — grows linearly with the level jump; the paper's "
+        "single-pass algorithms stay at one traversal.",
+    )
+    # The headline claim: baseline cost grows with the jump, ours does not.
+    assert rows[-1][3] == 5  # five baseline passes at jump 5
+    assert rows[-1][2] == 1

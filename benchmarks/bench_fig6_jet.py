@@ -1,0 +1,96 @@
+"""E6 / Fig. 6 — primary jet atomization (scaled demonstration).
+
+The paper's headline run resolves a 3D jet at octree level 15 (35 trillion
+equivalent grid points).  The Python reproduction runs the same pipeline —
+jet inflow, CHNS two-block stepping, identifier-driven AMR — on a scaled 2D
+configuration, and reports the *equivalent uniform grid points* metric for
+the adaptive mesh the run produces, plus interface statistics demonstrating
+that the jet column develops and the framework keeps the interface resolved.
+"""
+
+import numpy as np
+import pytest
+
+from repro.amr.driver import RemeshConfig, uniform_equivalent_points
+from repro.chns.initial_conditions import jet_column
+from repro.chns.params import CHNSParams
+from repro.chns.timestepper import CHNSTimeStepper, jet_inflow_bc
+from repro.core.identifier import IdentifierConfig
+from repro.mesh.mesh import mesh_from_field
+
+from _report import format_table, report
+
+CN = 0.03
+MAX_LEVEL = 6
+
+
+def jet_phi(x):
+    return jet_column(x, half_width=0.1, length=0.35, Cn=CN, perturb_amp=0.15)
+
+
+def build_stepper():
+    mesh = mesh_from_field(jet_phi, 2, max_level=MAX_LEVEL, min_level=3,
+                           threshold=0.95)
+    prm = CHNSParams(
+        Re=200.0, We=4.0, Pe=200.0, Cn=CN, rho_minus=0.2, eta_minus=0.2
+    )
+    ts = CHNSTimeStepper(
+        mesh,
+        prm,
+        velocity_bc=lambda m: jet_inflow_bc(m, half_width=0.1, speed=1.0),
+        remesh_config=RemeshConfig(
+            coarse_level=3,
+            interface_level=MAX_LEVEL,
+            feature_level=MAX_LEVEL,
+            identifier=IdentifierConfig(delta=-0.8, n_erode=3, n_extra_dilate=3),
+        ),
+        remesh_every=2,
+    )
+    ts.initialize(jet_phi)
+    return ts
+
+
+def test_jet_step(benchmark):
+    ts = build_stepper()
+    benchmark.pedantic(ts.step, args=(5e-4,), rounds=2, iterations=1)
+
+
+def test_fig6_jet_atomization(benchmark):
+    def run():
+        ts = build_stepper()
+        for _ in range(4):
+            ts.step(5e-4)
+        return ts
+
+    ts = benchmark.pedantic(run, rounds=1)
+    mesh = ts.mesh
+    d = ts.diagnostics()
+    # Interface band element count (|phi| < 0.95 at some corner).
+    ev = mesh.elem_gather(ts.phi)
+    interface = np.any(np.abs(ev) < 0.95, axis=1)
+    equiv = uniform_equivalent_points(mesh)
+    ratio = equiv / mesh.n_dofs
+
+    rows = [
+        ["finest octree level", 15, int(mesh.tree.levels.max())],
+        ["coarsest octree level", 4, int(mesh.tree.levels.min())],
+        ["equivalent uniform grid points", "3.5e13", f"{equiv:.3g}"],
+        ["actual DOFs", "-", mesh.n_dofs],
+        ["adaptivity compression factor", ">>1", round(ratio, 1)],
+        ["interface elements", "-", int(interface.sum())],
+        ["phase bounds after 4 steps", "[-1,1]+eps",
+         f"[{d.phi_min:.2f}, {d.phi_max:.2f}]"],
+        ["mass drift", "~0", f"{abs(d.mass):.4f} (see note)"],
+        ["velocity max", "O(1)", round(float(np.abs(ts.vel).max()), 2)],
+    ]
+    report(
+        "fig6",
+        "Primary jet atomization (scaled 2D run; paper: 3D @ level 15)",
+        format_table(["quantity", "paper", "measured"], rows)
+        + "\n\nNote: with an inflow boundary, phase mass is injected by the "
+        "jet; the bound check and stable stepping are the invariants.",
+    )
+    assert mesh.tree.levels.max() == MAX_LEVEL
+    assert ratio > 2.0  # adaptivity pays off even at demo scale
+    assert d.phi_min > -1.5 and d.phi_max < 1.5
+    assert np.abs(ts.vel).max() < 10.0  # no blow-up

@@ -1,0 +1,86 @@
+"""E8 / Fig. 8 — element fraction by octree level.
+
+The paper's Fig. 8 histogram for the jet run: the finest level (15) holds
+the largest element fraction, levels 13-14 together hold ~25%, yet level 15
+covers only ~0.01% of the volume; resolving everything at level 15 would
+cost 8-10x the elements and ~20-25x the solve time (O(N log N) estimate).
+This benchmark reproduces the distribution's shape on the scaled jet mesh
+and evaluates the paper's own cost arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.amr.driver import level_fractions, uniform_equivalent_points
+from repro.chns.initial_conditions import jet_column
+from repro.mesh.mesh import mesh_from_field
+
+from _report import format_table, report
+
+MAX_LEVEL = 8
+
+
+def jet_phi(x):
+    return jet_column(
+        x, half_width=0.1, length=0.5, Cn=0.01, perturb_amp=0.25, perturb_k=5
+    )
+
+
+def build():
+    return mesh_from_field(jet_phi, 2, max_level=MAX_LEVEL, min_level=3,
+                           threshold=0.95)
+
+
+def test_level_fraction_kernel(benchmark):
+    mesh = build()
+    benchmark(level_fractions, mesh)
+
+
+def test_fig8_level_fractions(benchmark):
+    mesh = benchmark.pedantic(build, rounds=1)
+    fr = level_fractions(mesh)
+    lv = fr["levels"]
+    ef = fr["element_fraction"]
+    vf = fr["volume_fraction"]
+
+    finest = int(lv[np.nonzero(fr["counts"])[0][-1]])
+    near_finest = float(ef[finest - 2] + ef[finest - 1])
+
+    # Paper's uniform-cost estimate at the finest level.
+    n_adaptive = mesh.n_elems
+    n_uniform = (2**finest) ** mesh.dim
+    elem_factor = n_uniform / n_adaptive
+    # O(N log N) solve-time multiplier (paper footnote 7).
+    time_factor = (n_uniform * np.log(n_uniform)) / (
+        n_adaptive * np.log(n_adaptive)
+    )
+
+    hist_rows = [
+        [int(l), round(float(e), 4), round(float(v), 4)]
+        for l, e, v in zip(lv, ef, vf)
+        if fr["counts"][int(l)] > 0
+    ]
+    hist = format_table(["level", "element fraction", "volume fraction"], hist_rows)
+
+    rows = [
+        ["max element fraction at finest level", "yes",
+         "yes" if ef[finest] == ef.max() else "NO"],
+        ["fraction at (finest-2, finest-1)", "~0.25", round(near_finest, 3)],
+        ["finest-level volume fraction", "1e-4 (0.01%)",
+         f"{float(vf[finest]):.2e}"],
+        ["uniform/adaptive element factor", "8-10x", round(elem_factor, 1)],
+        ["uniform/adaptive time factor (N log N)", "20-25x",
+         round(time_factor, 1)],
+        ["equivalent uniform points", "3.5e13 (level 15, 3D)",
+         f"{uniform_equivalent_points(mesh):.3g}"],
+    ]
+    report(
+        "fig8",
+        "Element fraction vs octree level (jet mesh)",
+        hist + "\n\n" + format_table(["quantity", "paper", "measured"], rows),
+    )
+    # Shape assertions: finest dominates counts, not volume.
+    assert ef[finest] == ef.max()
+    assert vf[finest] < 0.2
+    assert elem_factor > 2.0
+    assert time_factor > elem_factor

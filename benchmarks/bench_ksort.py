@@ -1,0 +1,104 @@
+"""E10 / Sec. II-C3a-b — hierarchical k-way sort and memoized comm_split.
+
+Regenerates the distributed-sort experiment: the flat sample sort keeps an
+O(p) splitter table and a single monolithic exchange; the staged k-way sort
+(HykSort-flavored) keeps O(k) splitters per stage, O(log_k p) stages, and
+memoizes the stage communicators so repeated sorts never re-split (the
+paper stores them in an MPI attribute cache).
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi.comm import run_spmd
+from repro.mpi.hierarchical import kway_stage_comms
+from repro.mpi.sort import is_globally_sorted, kway_sort, sample_sort
+from repro.mpi.stats import CommStats
+from repro.perf.machine import MachineModel
+
+from _report import format_table, report
+
+NPROCS = 8
+N_KEYS = 20_000
+
+
+def _sort_run(sorter, seed=0, **kw):
+    rng = np.random.default_rng(seed)
+    data = [
+        rng.integers(0, 2**60, N_KEYS // NPROCS).astype(np.uint64)
+        for _ in range(NPROCS)
+    ]
+    stats = CommStats()
+
+    def fn(comm):
+        out = sorter(comm, data[comm.rank], **kw)
+        assert is_globally_sorted(comm, out)
+        return len(out)
+
+    run_spmd(NPROCS, fn, stats=stats)
+    return stats.snapshot()
+
+
+def test_sample_sort_kernel(benchmark):
+    benchmark.pedantic(lambda: _sort_run(sample_sort), rounds=3, iterations=1)
+
+
+def test_kway_sort_kernel(benchmark):
+    benchmark.pedantic(lambda: _sort_run(kway_sort, k=2), rounds=3, iterations=1)
+
+
+def test_memoized_split_kernel(benchmark):
+    """Repeated k-way sorts on the same communicator: splits happen once."""
+
+    def run():
+        stats = CommStats()
+        rng = np.random.default_rng(1)
+        data = [rng.integers(0, 2**60, 500).astype(np.uint64) for _ in range(NPROCS)]
+
+        def fn(comm):
+            for _ in range(3):
+                kway_sort(comm, data[comm.rank], k=2)
+            return comm.stats.snapshot()["comm_splits"]
+
+        return run_spmd(NPROCS, fn, stats=stats)
+
+    splits = benchmark.pedantic(run, rounds=1)
+    # 8 ranks, k=2: ladder depth 2 -> at most 2 splits per rank, not 6.
+    assert max(splits) <= 2 * NPROCS  # world-total counter; not per sort
+
+
+def test_ksort_report(benchmark):
+    snap_flat = benchmark.pedantic(lambda: _sort_run(sample_sort), rounds=1)
+    snap_kway = _sort_run(kway_sort, k=2)
+
+    sim = format_table(
+        ["counter (8 ranks, 20K keys)", "flat sample sort", "k-way staged"],
+        [
+            ["collectives", snap_flat["collectives"], snap_kway["collectives"]],
+            ["collective bytes", snap_flat["collective_bytes"],
+             snap_kway["collective_bytes"]],
+            ["comm splits", snap_flat["comm_splits"], snap_kway["comm_splits"]],
+        ],
+    )
+
+    m = MachineModel()
+    rows = []
+    for p in (1792, 14336, 114688, 2_000_000):
+        stages = max(int(np.ceil(np.log(p) / np.log(128))), 1)
+        rows.append(
+            [p, stages, 128, p, round(m.kway_sort_time(1e9, p), 3)]
+        )
+    model = format_table(
+        ["procs", "stages (k=128)", "splitters/stage (k-way)",
+         "splitters (flat, O(p))", "k-way model time (s)"],
+        rows,
+    )
+    report(
+        "ksort",
+        "Hierarchical k-way distributed sort (splitter storage O(k) vs O(p))",
+        "Simulator counters:\n" + sim
+        + "\n\nStage count at scale (paper: k=128 -> <=3 stages to 2M procs):\n"
+        + model,
+    )
+    # The paper's claim: at k=128, at most three stages up to 2M processes.
+    assert rows[-1][1] <= 3

@@ -1,0 +1,56 @@
+"""Two-drop coalescence under Cahn-Hilliard dynamics with AMR.
+
+Two nearby drops merge: the diffuse interfaces overlap, the neck forms and
+the combined drop relaxes toward a circle while Cahn-Hilliard energy decays
+monotonically and total phase mass is conserved — the two discrete
+invariants the solver guarantees.  The mesh follows the interface through
+the topology change via the remeshing driver.
+
+Run:  python examples/drop_coalescence.py
+"""
+
+import numpy as np
+
+from repro.amr.driver import RemeshConfig, remesh
+from repro.chns.ch_solver import CHSolver
+from repro.chns.free_energy import ginzburg_landau_energy, total_mass
+from repro.chns.initial_conditions import two_drops
+from repro.chns.params import CHNSParams
+from repro.mesh.mesh import mesh_from_field
+
+
+def main() -> None:
+    params = CHNSParams(Pe=20.0, Cn=0.04)
+
+    def phi0(x):
+        return two_drops(x, (0.42, 0.5), 0.12, (0.62, 0.5), 0.1, params.Cn)
+
+    mesh = mesh_from_field(phi0, 2, max_level=5, min_level=3, threshold=0.95)
+    ch = CHSolver(mesh, params)
+    phi = mesh.interpolate(phi0)
+    mu = ch.initial_mu(phi)
+
+    m0 = total_mass(mesh, phi)
+    cfg = RemeshConfig(coarse_level=3, interface_level=5, feature_level=5)
+    dt = 2e-3
+    print(f"{'step':>4} {'elems':>6} {'mass drift':>11} {'energy':>9} "
+          f"{'neck phi(0.52,0.5)':>19}")
+    for step in range(10):
+        res = ch.solve(phi, mu, None, dt)
+        phi, mu = res.phi, res.mu
+        if step % 3 == 2:  # follow the interface
+            mesh, fields, _ = remesh(mesh, {"phi": phi, "mu": mu}, cfg)
+            phi, mu = fields["phi"], fields["mu"]
+            ch = CHSolver(mesh, params)
+        neck = float(mesh.evaluate_at(phi, np.array([[0.52, 0.5]]))[0])
+        print(f"{step:>4} {mesh.n_elems:>6} "
+              f"{total_mass(mesh, phi) - m0:>11.2e} "
+              f"{ginzburg_landau_energy(mesh, phi, params.Cn):>9.5f} "
+              f"{neck:>19.3f}")
+
+    print("\nneck phi dropping toward -1 = the drops have merged; "
+          "energy decays; mass drift stays at solver/transfer tolerance.")
+
+
+if __name__ == "__main__":
+    main()

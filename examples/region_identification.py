@@ -1,0 +1,74 @@
+"""Region identification demo (paper Fig. 1): erosion/dilation pipeline.
+
+Builds a scene with a large drop, a small droplet, and a thin filament;
+runs both the uniform-grid image pipeline and the octree LOCALCAHNIDENTIFIER
+(Algorithm 1), and renders ASCII maps of what gets flagged for local-Cahn
+reduction.
+
+Run:  python examples/region_identification.py
+"""
+
+import numpy as np
+
+from repro.core import image
+from repro.core.identifier import IdentifierConfig, identify_local_cahn
+from repro.mesh.mesh import mesh_from_field
+
+
+def scene_phi(x):
+    small = np.linalg.norm(x - np.array([0.2, 0.25]), axis=-1) - 0.05
+    big = np.linalg.norm(x - np.array([0.65, 0.6]), axis=-1) - 0.2
+    y, xx = x[..., 1], x[..., 0]
+    fil = np.maximum(np.abs(y - 0.6) - 0.02, (xx - 0.1) * (xx - 0.45))
+    return np.tanh(np.minimum(np.minimum(small, big), fil) / 0.009)
+
+
+def ascii_map(grid, chars=" .##"):  # 3 = immersed AND flagged
+    """Downsample a 2D array of {0,1,2} codes to a terminal map."""
+    n = grid.shape[0]
+    step = max(n // 48, 1)
+    rows = []
+    for j in range(0, n, step)[::-1] if False else range(n - 1, -1, -step):
+        rows.append("".join(chars[min(int(grid[i, j]), 3)] for i in range(0, n, step)))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    # ----------------------------------------------------- image pipeline
+    n = 257
+    xs = np.linspace(0, 1, n)
+    X, Y = np.meshgrid(xs, xs, indexing="ij")
+    phi = scene_phi(np.stack([X, Y], axis=-1))
+    bw = image.threshold(phi, -0.8)
+    roi = image.identify_regions(phi, delta=-0.8, n_erode=12, n_extra_dilate=3)
+    print("Phase layout ('.' = immersed phase, '#' = flagged region):\n")
+    print(ascii_map(bw + 2 * roi.astype(np.int8)))
+    print(
+        f"\nimage pipeline: {int(bw.sum())} immersed pixels, "
+        f"{int(roi.sum())} flagged (small droplet + filament only)"
+    )
+
+    # --------------------------------------------------- octree identifier
+    mesh = mesh_from_field(scene_phi, 2, max_level=7, min_level=4, threshold=0.9)
+    res = identify_local_cahn(
+        mesh,
+        mesh.interpolate(scene_phi),
+        IdentifierConfig(delta=-0.8, n_erode=5, n_extra_dilate=3,
+                         cn_fine=0.5, cn_coarse=1.0),
+    )
+    centers = mesh.elem_centers()[res.detected]
+    print(
+        f"\noctree identifier: {mesh.n_elems} elements "
+        f"(levels {mesh.tree.levels.min()}..{mesh.tree.levels.max()}), "
+        f"{int(res.detected.sum())} flagged for reduced Cahn"
+    )
+    if len(centers):
+        print("flagged element centroid cloud spans "
+              f"x in [{centers[:,0].min():.2f}, {centers[:,0].max():.2f}], "
+              f"y in [{centers[:,1].min():.2f}, {centers[:,1].max():.2f}]")
+    print(f"erode/dilate MATVEC sweeps: {res.stats.steps}, "
+          f"elements visited: {res.stats.elements_visited}")
+
+
+if __name__ == "__main__":
+    main()

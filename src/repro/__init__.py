@@ -1,0 +1,20 @@
+"""repro — Python reproduction of "Scalable adaptive algorithms for
+next-generation multiphase flow simulations" (IPDPS 2023).
+
+Subpackages
+-----------
+octree : linear octrees (Morton keys, multi-level refine/coarsen, balance,
+         partitioning, parallel coarsening, overlap search)
+mpi    : threaded SPMD simulator with MPI semantics and traffic counters
+mesh   : hanging-node CG meshes, inter-grid transfer, distributed kernels
+fem    : elemental operators (GEMM-expressed), assembly, zip/unzip layout
+la     : Krylov solvers, preconditioners, Newton, block storage
+core   : the paper's local-Cahn region identification (Algorithms 1-4)
+chns   : Cahn-Hilliard Navier-Stokes two-block projection solver
+amr    : remeshing driver and checkpoint/restart
+perf   : calibrated machine/application performance models
+"""
+
+__version__ = "1.0.0"
+
+from . import amr, chns, core, fem, io, la, mesh, mpi, octree, perf  # noqa: F401

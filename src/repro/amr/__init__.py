@@ -1,0 +1,15 @@
+"""AMR remeshing driver and checkpoint/restart."""
+
+from .checkpoint import (  # noqa: F401
+    load_checkpoint,
+    rebalance_all,
+    restart_distributed,
+    save_checkpoint,
+)
+from .driver import (  # noqa: F401
+    RemeshConfig,
+    RemeshInfo,
+    level_fractions,
+    remesh,
+    uniform_equivalent_points,
+)

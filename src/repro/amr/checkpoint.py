@@ -1,0 +1,78 @@
+"""Checkpoint / restart with growing process counts (paper Sec. II-E).
+
+Checkpoints are dumped at frequent intervals; a restart may use the *same or
+larger* number of processes.  On a larger job, the world communicator is
+split into an *active* communicator (the size of the writing job), which
+loads the checkpoint and rebuilds the mesh, and an *inactive* communicator
+whose ranks hold no data; the first repartition redistributes elements over
+the full world, activating everyone.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..mpi.comm import Comm
+from ..octree import morton
+from ..octree.partition import repartition
+from ..octree.tree import Octree
+
+
+def save_checkpoint(
+    path: str, tree: Octree, fields: Dict[str, np.ndarray], nprocs: int
+) -> None:
+    """Serialize a (gathered) tree + per-DOF fields, recording the writer's
+    process count."""
+    payload = {
+        "dim": np.int64(tree.dim),
+        "anchors": tree.anchors,
+        "levels": tree.levels,
+        "nprocs": np.int64(nprocs),
+    }
+    for name, vec in fields.items():
+        payload[f"field_{name}"] = np.asarray(vec)
+    np.savez(path, **payload)
+
+
+def load_checkpoint(path: str) -> Tuple[Octree, Dict[str, np.ndarray], int]:
+    data = np.load(path if path.endswith(".npz") else path + ".npz")
+    tree = Octree(data["anchors"], data["levels"], int(data["dim"]), presorted=True)
+    fields = {
+        k[len("field_") :]: data[k] for k in data.files if k.startswith("field_")
+    }
+    return tree, fields, int(data["nprocs"])
+
+
+def restart_distributed(
+    comm: Comm, path: str
+) -> Tuple[Octree, Dict[str, slice], "Comm | None"]:
+    """Reload a checkpoint on ``comm`` which may be larger than the writer.
+
+    Returns ``(local_tree, field_slices, active_comm)``: ranks beyond the
+    writer count start with empty chunks (inactive); a subsequent
+    :func:`rebalance_all` spreads the load over every rank, matching the
+    paper's activation-on-repartition behavior.
+    """
+    tree, fields, n_active = load_checkpoint(path)
+    n_active = min(n_active, comm.size)
+    active = comm.rank < n_active
+    # MPI_Comm_split into active / inactive groups.
+    sub = comm.split(0 if active else 1)
+    if active:
+        bounds = np.linspace(0, len(tree), n_active + 1).astype(np.int64)
+        lo, hi = int(bounds[sub.rank]), int(bounds[sub.rank + 1])
+        local = Octree(
+            tree.anchors[lo:hi], tree.levels[lo:hi], tree.dim, presorted=True
+        )
+    else:
+        local = Octree.empty(tree.dim)
+    return local, fields, (sub if active else None)
+
+
+def rebalance_all(comm: Comm, local: Octree) -> Octree:
+    """Repartition over the *full* communicator — inactive ranks receive
+    elements and become active."""
+    return repartition(comm, local)

@@ -1,0 +1,19 @@
+"""Cahn-Hilliard Navier-Stokes solver (two-block projection scheme)."""
+
+from .analysis import (  # noqa: F401
+    breakup_detected,
+    droplet_statistics,
+    interface_measure,
+    phase_volume,
+)
+from .ch_solver import CHSolver  # noqa: F401
+from .ns_solver import NSSolver  # noqa: F401
+from .params import CHNSParams  # noqa: F401
+from .pp_solver import PPSolver  # noqa: F401
+from .timestepper import (  # noqa: F401
+    CHNSTimeStepper,
+    jet_inflow_bc,
+    lid_driven_bc,
+    no_slip_bc,
+)
+from .vu_solver import VUSolver  # noqa: F401

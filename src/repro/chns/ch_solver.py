@@ -1,0 +1,109 @@
+"""CH-Solve: fully implicit advective Cahn-Hilliard block
+(paper Sec. II-A, step 1 of the two-block projection scheme).
+
+Unknowns are the mixed pair ``(phi, mu)`` (chemical potential), stacked as
+``[phi; mu]``.  The nonlinear residual is solved by Newton with an
+analytically assembled Jacobian; the degenerate mobility is evaluated at the
+current Newton iterate (its phi-derivative is dropped from the Jacobian — a
+standard quasi-Newton simplification protected by the line search).
+
+Weak residual (no-flux boundaries are natural):
+
+  R_phi = M (phi - phi_n)/dt + C(v) phi + (1/(Pe Cn)) K_m mu = 0
+  R_mu  = M mu - P(psi'(phi)) - Cn^2 K phi = 0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..fem.operators import value_at_quad
+from ..la.newton import NewtonResult, newton_solve
+from ..mesh.mesh import Mesh
+from . import forms
+from .free_energy import mobility, psi_double_prime, psi_prime
+from .params import CHNSParams
+
+
+@dataclass
+class CHResult:
+    phi: np.ndarray
+    mu: np.ndarray
+    newton: NewtonResult
+
+
+class CHSolver:
+    """Reusable CH block for a fixed mesh (re-created after remeshing)."""
+
+    def __init__(self, mesh: Mesh, params: CHNSParams):
+        self.mesh = mesh
+        self.params = params
+        self.M = forms.mass(mesh)
+        self.K = forms.stiffness(mesh)
+
+    def _mobility_stiffness(self, phi: np.ndarray) -> sp.csr_matrix:
+        m_q = mobility(forms.field_at_quad(self.mesh, phi))
+        return forms.stiffness(self.mesh, m_q)
+
+    def solve(
+        self,
+        phi_n: np.ndarray,
+        mu_n: np.ndarray,
+        vel: np.ndarray | None,
+        dt: float,
+        *,
+        tol: float = 1e-9,
+    ) -> CHResult:
+        mesh, prm = self.mesh, self.params
+        n = mesh.n_dofs
+        M, K = self.M, self.K
+        Cv = (
+            forms.convection(mesh, vel)
+            if vel is not None
+            else sp.csr_matrix((n, n))
+        )
+        mob_coeff = 1.0 / (prm.Pe * prm.Cn)
+        Cn2 = prm.Cn**2
+
+        def split(x):
+            return x[:n], x[n:]
+
+        def residual(x):
+            phi, mu = split(x)
+            Km = self._mobility_stiffness(phi)
+            r_phi = M @ ((phi - phi_n) / dt) + Cv @ phi + mob_coeff * (Km @ mu)
+            psi_q = psi_prime(forms.field_at_quad(mesh, phi))
+            r_mu = M @ mu - forms.source(mesh, psi_q) - Cn2 * (K @ phi)
+            return np.concatenate([r_phi, r_mu])
+
+        def jacobian(x):
+            phi, mu = split(x)
+            Km = self._mobility_stiffness(phi)
+            J11 = M / dt + Cv
+            J12 = mob_coeff * Km
+            psi2_q = psi_double_prime(forms.field_at_quad(mesh, phi))
+            M_psi2 = forms.mass(mesh, psi2_q)
+            J21 = -M_psi2 - Cn2 * K
+            J22 = M
+            return sp.bmat([[J11, J12], [J21, J22]], format="csr")
+
+        x0 = np.concatenate([phi_n, mu_n])
+        res = newton_solve(
+            residual, jacobian, x0, tol=tol * max(np.linalg.norm(x0), 1.0),
+            rtol=1e-8, maxiter=20,
+        )
+        phi, mu = split(res.x)
+        return CHResult(phi=phi, mu=mu, newton=res)
+
+    def initial_mu(self, phi: np.ndarray) -> np.ndarray:
+        """Consistent chemical potential for an initial phi (solve R_mu=0)."""
+        from ..la.krylov import cg
+        from ..la.precond import JacobiPreconditioner
+
+        psi_q = psi_prime(forms.field_at_quad(self.mesh, phi))
+        b = forms.source(self.mesh, psi_q) + self.params.Cn**2 * (self.K @ phi)
+        res = cg(self.M, b, M=JacobiPreconditioner(self.M), tol=1e-12, maxiter=2000)
+        return res.x

@@ -1,0 +1,81 @@
+"""VU-Solve: velocity correction / projection (paper Sec. II-A, step 4).
+
+The tentative velocity is corrected with the new pressure,
+
+    v^{n+1} = v* - (dt / (We rho)) grad p,
+
+realized as one mass solve *per direction*: the paper's memory remark —
+splitting the update per component shrinks the assembled matrix from
+``N x DIM x k`` to ``N x k`` nonzeros, and the mass matrix is assembled once
+and reused for every direction (and every later step) until the mesh
+changes, with no further Mat_Assembly calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fem.assembly import apply_dirichlet
+from ..la.krylov import SolveResult, cg
+from ..la.precond import JacobiPreconditioner
+from ..mesh.mesh import Mesh
+from . import forms
+from .params import CHNSParams
+
+
+@dataclass
+class VUResult:
+    vel: np.ndarray  # (n_dofs, dim) solenoidal velocity
+    solves: list
+
+
+class VUSolver:
+    def __init__(self, mesh: Mesh, params: CHNSParams):
+        self.mesh = mesh
+        self.params = params
+        # Assembled once; reused across directions and steps (paper remark).
+        self.M = forms.mass(mesh)
+        self._pc = JacobiPreconditioner(self.M)
+
+    def solve(
+        self,
+        phi: np.ndarray,
+        vel_star: np.ndarray,
+        p: np.ndarray,
+        dt: float,
+        *,
+        dirichlet_masks=None,
+        dirichlet_values=None,
+        tol: float = 1e-10,
+    ) -> VUResult:
+        mesh, prm = self.mesh, self.params
+        dim = mesh.dim
+        phi_q = forms.field_at_quad(mesh, phi)
+        inv_rho_q = 1.0 / prm.rho_clamped(phi_q)
+        grad_p_q = forms.grad_at_quad(mesh, p)  # (e, q, dim)
+
+        vel = np.zeros_like(vel_star)
+        solves = []
+        for i in range(dim):
+            rhs = self.M @ vel_star[:, i] - (dt / prm.We) * forms.source(
+                mesh, inv_rho_q * grad_p_q[..., i]
+            )
+            if dirichlet_masks is not None:
+                mask = dirichlet_masks[i]
+                vals = (
+                    dirichlet_values[i]
+                    if dirichlet_values is not None
+                    else np.zeros(mesh.n_dofs)
+                )
+                A_i, rhs_i = apply_dirichlet(self.M, rhs, mask, vals)
+                pc = JacobiPreconditioner(A_i)
+            else:
+                A_i, rhs_i, pc = self.M, rhs, self._pc
+            res = cg(
+                A_i, rhs_i, x0=vel_star[:, i].copy(), M=pc, tol=tol, maxiter=3000
+            )
+            solves.append(res)
+            vel[:, i] = res.x
+        return VUResult(vel=vel, solves=solves)

@@ -1,0 +1,97 @@
+"""Connected-component labeling baseline (paper Sec. V, Harrison et al.).
+
+The paper positions erosion/dilation against the alternative of detecting
+small features by connected-component labeling, arguing CCL is (i) more
+expensive and non-trivial to implement in parallel, and (ii) *insufficient*:
+a thin filament attached to a large body is one component, so a size filter
+never flags it (Fig. 1b).  This module implements the baseline so the claim
+can be measured: components of the immersed phase are labeled by union-find
+over element adjacency (shared nodes), sizes are accumulated, and small
+components are flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mesh.mesh import Mesh
+from .threshold import threshold_octree
+
+
+def _find(parent: np.ndarray, i: int) -> int:
+    root = i
+    while parent[root] != root:
+        root = parent[root]
+    while parent[i] != root:  # path compression
+        parent[i], i = root, parent[i]
+    return root
+
+
+def label_components(mesh: Mesh, phi: np.ndarray, delta: float = 0.8):
+    """Label connected regions of the immersed phase.
+
+    An element belongs to the region when *any* corner is thresholded
+    immersed; elements sharing such a node are connected.  Returns
+    ``(labels, n_components)`` with ``labels[e] = -1`` outside the phase and
+    component ids ``0..n-1`` otherwise.
+    """
+    bw = threshold_octree(phi, delta)
+    nodal = mesh.node_values(bw)
+    node_in = nodal > 0.0
+    elem_in = np.any(node_in[mesh.nodes.elem_nodes], axis=1)
+
+    labels = np.full(mesh.n_elems, -1, dtype=np.int64)
+    elems = np.nonzero(elem_in)[0]
+    if len(elems) == 0:
+        return labels, 0
+
+    # Union-find over elements, merged through shared immersed nodes.
+    parent = np.arange(len(elems), dtype=np.int64)
+    local_of = {int(e): i for i, e in enumerate(elems)}
+    node_owner = np.full(mesh.n_nodes, -1, dtype=np.int64)
+    en = mesh.nodes.elem_nodes
+    for i, e in enumerate(elems):
+        for n in en[e]:
+            if not node_in[n]:
+                continue
+            if node_owner[n] < 0:
+                node_owner[n] = i
+            else:
+                ra, rb = _find(parent, node_owner[n]), _find(parent, i)
+                if ra != rb:
+                    parent[rb] = ra
+
+    roots = np.array([_find(parent, i) for i in range(len(elems))])
+    uniq, compact = np.unique(roots, return_inverse=True)
+    labels[elems] = compact
+    return labels, len(uniq)
+
+
+@dataclass
+class ComponentStats:
+    n_components: int
+    volumes: np.ndarray  # physical volume per component
+    small_elements: np.ndarray  # bool per element: in a small component
+
+
+def flag_small_components(
+    mesh: Mesh, phi: np.ndarray, *, delta: float = 0.8, volume_threshold: float
+) -> ComponentStats:
+    """The CCL-based detector: flag every element belonging to a connected
+    component whose total volume falls below ``volume_threshold``.
+
+    This is the strongest size-filter baseline — and it still cannot flag a
+    thin filament attached to a large body (the benchmark demonstrates it).
+    """
+    labels, n = label_components(mesh, phi, delta)
+    vols = np.zeros(max(n, 1))
+    elem_vol = mesh.elem_h() ** mesh.dim
+    sel = labels >= 0
+    np.add.at(vols, labels[sel], elem_vol[sel])
+    small = np.zeros(mesh.n_elems, dtype=bool)
+    if n:
+        small_ids = np.nonzero(vols < volume_threshold)[0]
+        small[sel] = np.isin(labels[sel], small_ids)
+    return ComponentStats(n_components=n, volumes=vols[:n], small_elements=small)

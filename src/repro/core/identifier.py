@@ -1,0 +1,84 @@
+"""LOCALCAHNIDENTIFIER (paper Algorithm 1): the end-to-end pipeline that
+finds droplets/filaments whose scale approaches the diffuse-interface
+thickness and returns the per-element local Cahn number.
+
+Pipeline: threshold (Eq. 4) → level-aware erosion (Alg. 2) → extra dilation
+(Alg. 2) → elemental Cn (Alg. 3 / Eq. 6) → island removal + padding on the
+Cn field (Alg. 4).  Complexity is O(N) per sweep — each sweep is one
+elemental MATVEC pass — which is the basis of the Fig. 4 scaling claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..mesh.mesh import Mesh
+from .elemental_cahn import elemental_cahn, erode_dilate_cahn
+from .erode_dilate import ErodeDilateStats, Stage, erode_dilate
+from .threshold import threshold_octree
+
+
+@dataclass
+class IdentifierConfig:
+    """Hyper-parameters of Algorithm 1 (the paper's defaults in brackets)."""
+
+    delta: float = 0.8  # threshold [±0.8 by immersed-phase sign]
+    n_erode: int = 2  # erosion sweeps
+    n_extra_dilate: int = 3  # extra dilations beyond erosions [3-4]
+    cn_fine: float = 0.5  # reduced Cahn for detected features (relative)
+    cn_coarse: float = 1.0  # ambient Cahn (relative)
+    cleanup_erode: int = 1  # Alg. 4 island-removal sweeps
+    cleanup_dilate: int = 3  # Alg. 4 padding sweeps
+    base_level: Optional[int] = None  # defaults to finest mesh level
+
+
+@dataclass
+class IdentifierResult:
+    elem_cn: np.ndarray  # per-element Cahn number
+    bw_o: np.ndarray  # thresholded nodal vector (±1, DOFs)
+    bw_d: np.ndarray  # after erosion + dilation
+    detected: np.ndarray  # bool mask of reduced-Cn elements
+    stats: ErodeDilateStats
+
+
+def identify_local_cahn(
+    mesh: Mesh, phi: np.ndarray, config: IdentifierConfig | None = None
+) -> IdentifierResult:
+    """Run Algorithm 1 on a phase-field DOF vector.
+
+    ``phi`` follows the CHNS convention (immersed phase toward -1 or +1);
+    choose ``config.delta`` accordingly: with the immersed phase at -1, use
+    ``delta = -0.8`` so thresholding marks it +1.
+    """
+    cfg = config or IdentifierConfig()
+    stats = ErodeDilateStats()
+    base = (
+        int(mesh.tree.levels.max()) if cfg.base_level is None else cfg.base_level
+    )
+    bw_o = threshold_octree(phi, cfg.delta)
+    bw_e = erode_dilate(mesh, bw_o, Stage.EROSION, cfg.n_erode, base, stats)
+    bw_d = erode_dilate(
+        mesh,
+        bw_e,
+        Stage.DILATION,
+        cfg.n_erode + cfg.n_extra_dilate,
+        base,
+        stats,
+    )
+    elem_cn = elemental_cahn(mesh, bw_o, bw_d, cfg.cn_fine, cfg.cn_coarse)
+    elem_cn = erode_dilate_cahn(
+        mesh,
+        elem_cn,
+        cfg.cn_fine,
+        cfg.cn_coarse,
+        base_level=base,
+        n_erode=cfg.cleanup_erode,
+        n_dilate=cfg.cleanup_dilate,
+    )
+    detected = np.abs(elem_cn - cfg.cn_fine) < 1e-12
+    return IdentifierResult(
+        elem_cn=elem_cn, bw_o=bw_o, bw_d=bw_d, detected=detected, stats=stats
+    )

@@ -1,0 +1,10 @@
+"""FEM kernels: basis, GEMM-expressed operators, assembly, zip/unzip."""
+
+from .assembly import apply_dirichlet, assemble_matrix, assemble_vector  # noqa: F401
+from .matvec import MatrixFreeOperator, apply_elemental  # noqa: F401
+from .operators import (  # noqa: F401
+    convection_matrix,
+    load_vector,
+    mass_matrix,
+    stiffness_matrix,
+)

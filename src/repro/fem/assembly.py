@@ -1,0 +1,65 @@
+"""Global assembly of elemental operators.
+
+Assembly goes node-wise first (a plain COO scatter of the batched elemental
+matrices) and is then projected through the hanging-node interpolation:
+``A = P^T A_nodes P``.  This reproduces the paper's structure where the
+elemental loop never special-cases hanging nodes — interpolation is folded
+into the gather/scatter operators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..mesh.mesh import Mesh
+
+
+def assemble_matrix(mesh: Mesh, Ke: np.ndarray) -> sp.csr_matrix:
+    """Assemble ``Σ_e P_e^T K_e P_e`` into a CSR matrix over DOFs."""
+    en = mesh.nodes.elem_nodes  # (n_elems, nc)
+    n_elems, nc = en.shape
+    rows = np.repeat(en, nc, axis=1).ravel()
+    cols = np.tile(en, (1, nc)).ravel()
+    A_nodes = sp.coo_matrix(
+        (Ke.ravel(), (rows, cols)), shape=(mesh.n_nodes, mesh.n_nodes)
+    ).tocsr()
+    P = mesh.nodes.P
+    A = (P.T @ A_nodes @ P).tocsr()
+    A.sum_duplicates()
+    return A
+
+
+def assemble_vector(mesh: Mesh, be: np.ndarray) -> np.ndarray:
+    """Assemble elemental load vectors (n_elems, nc) into a DOF vector."""
+    return mesh.elem_scatter(be)
+
+
+def apply_dirichlet(
+    A: sp.csr_matrix,
+    b: np.ndarray,
+    mask: np.ndarray,
+    values: Optional[np.ndarray] = None,
+):
+    """Impose Dirichlet conditions by row/column elimination.
+
+    Returns ``(A_bc, b_bc)``; the constrained rows become identity and the
+    RHS is lifted so interior equations see the boundary data.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    vals = np.zeros(A.shape[0]) if values is None else np.asarray(values)
+    g = np.zeros(A.shape[0])
+    g[mask] = vals[mask] if vals.shape == g.shape else vals
+    b_bc = b - A @ g
+    b_bc[mask] = g[mask]
+    keep = sp.diags((~mask).astype(np.float64))
+    ident = sp.diags(mask.astype(np.float64))
+    A_bc = (keep @ A @ keep + ident).tocsr()
+    A_bc.eliminate_zeros()
+    return A_bc, b_bc
+
+
+def operator_row_sums(A: sp.csr_matrix) -> np.ndarray:
+    return np.asarray(A.sum(axis=1)).ravel()

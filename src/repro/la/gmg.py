@@ -1,0 +1,149 @@
+"""Geometric multigrid for the variable-coefficient pressure Poisson solve.
+
+The paper's future work: "scalable solvers, like Geometric multigrid (GMG),
+promise to yield a better solve time" for the variable-density PP-solve —
+it used plain iterative solvers after finding AMG setup too costly at scale.
+This module implements the missing piece at laptop scale: a V-cycle on a
+hierarchy of uniform meshes with FE interpolation for prolongation, Galerkin
+coarse operators (``A_c = P^T A_f P``), damped-Jacobi smoothing and a direct
+coarsest solve.  It is exposed both as a standalone solver and as a
+preconditioner for our CG — the ablation benchmark quantifies the iteration
+savings the paper anticipated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..mesh.mesh import Mesh
+from ..octree.build import uniform_tree
+
+
+def prolongation(coarse: Mesh, fine: Mesh) -> sp.csr_matrix:
+    """FE interpolation matrix from coarse DOFs to fine DOFs.
+
+    Each fine node evaluates the coarse multilinear field at its location —
+    the same operation as the inter-grid transfer, materialized as a sparse
+    operator so it can participate in Galerkin products.
+    """
+    pts = fine.nodes.coords[fine.nodes.node_of_dof]
+    grid = np.clip(pts, 0, (1 << 19) - 1)
+    elems = coarse.tree.locate_points(grid)
+    a = coarse.tree.anchors[elems]
+    s = coarse.tree.sizes()[elems].astype(np.float64)
+    xi = np.clip((pts - a) / s[:, None], 0.0, 1.0)
+    nc = 1 << coarse.dim
+    rows, cols, vals = [], [], []
+    corner_dofs = coarse.nodes.elem_nodes[elems]  # uniform: nodes == dofs
+    for c in range(nc):
+        w = np.ones(len(pts))
+        for axis in range(coarse.dim):
+            bit = (c >> axis) & 1
+            w *= xi[:, axis] if bit else (1.0 - xi[:, axis])
+        keep = w > 1e-12
+        rows.append(np.nonzero(keep)[0])
+        cols.append(corner_dofs[keep, c])
+        vals.append(w[keep])
+    P = sp.csr_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(fine.n_dofs, coarse.n_dofs),
+    )
+    P.sum_duplicates()
+    return P
+
+
+@dataclass
+class _Level:
+    A: sp.csr_matrix
+    P: Optional[sp.csr_matrix]  # to the next finer level (None on finest)
+    inv_diag: np.ndarray
+
+
+class GeometricMultigrid:
+    """V-cycle hierarchy over uniform refinement levels.
+
+    ``assemble``: callback building the fine operator on a given Mesh; coarse
+    operators are Galerkin products, so variable coefficients are inherited
+    exactly.  Usable directly (``solve``) or as a preconditioner (callable).
+    """
+
+    def __init__(
+        self,
+        fine_mesh: Mesh,
+        A_fine: sp.csr_matrix,
+        *,
+        coarsest_level: int = 2,
+        omega: float = 2.0 / 3.0,
+        pre_smooth: int = 2,
+        post_smooth: int = 2,
+    ):
+        levels = np.unique(fine_mesh.tree.levels)
+        if len(levels) != 1:
+            raise ValueError("GMG hierarchy requires a uniform fine mesh")
+        finest = int(levels[0])
+        if coarsest_level >= finest:
+            raise ValueError("coarsest_level must be below the fine level")
+        self.omega = omega
+        self.pre = pre_smooth
+        self.post = post_smooth
+
+        meshes = [fine_mesh]
+        for lev in range(finest - 1, coarsest_level - 1, -1):
+            meshes.append(Mesh.from_tree(uniform_tree(fine_mesh.dim, lev)))
+        self.levels: list[_Level] = []
+        A = A_fine.tocsr()
+        for i, mesh in enumerate(meshes):
+            if i + 1 < len(meshes):
+                P = prolongation(meshes[i + 1], mesh)
+            else:
+                P = None
+            d = A.diagonal()
+            d = np.where(np.abs(d) > 1e-300, d, 1.0)
+            self.levels.append(_Level(A=A, P=P, inv_diag=1.0 / d))
+            if P is not None:
+                A = (P.T @ A @ P).tocsr()
+        self._coarse_lu = spla.splu(self.levels[-1].A.tocsc() + 1e-12 * sp.eye(
+            self.levels[-1].A.shape[0], format="csc"
+        ))
+
+    def _smooth(self, lvl: _Level, x: np.ndarray, b: np.ndarray, n: int):
+        for _ in range(n):
+            x = x + self.omega * lvl.inv_diag * (b - lvl.A @ x)
+        return x
+
+    def v_cycle(self, b: np.ndarray, level: int = 0) -> np.ndarray:
+        lvl = self.levels[level]
+        if level == len(self.levels) - 1:
+            return self._coarse_lu.solve(b)
+        x = self._smooth(lvl, np.zeros_like(b), b, self.pre)
+        r = b - lvl.A @ x
+        rc = lvl.P.T @ r
+        ec = self.v_cycle(rc, level + 1)
+        x = x + lvl.P @ ec
+        return self._smooth(lvl, x, b, self.post)
+
+    # Preconditioner protocol.
+    def matvec(self, r: np.ndarray) -> np.ndarray:
+        return self.v_cycle(r)
+
+    __call__ = matvec
+
+    def solve(
+        self, b: np.ndarray, *, tol: float = 1e-10, maxiter: int = 50
+    ):
+        """Stationary V-cycle iteration (no Krylov wrapper)."""
+        x = np.zeros_like(b)
+        bnorm = float(np.linalg.norm(b)) or 1.0
+        for it in range(1, maxiter + 1):
+            r = b - self.levels[0].A @ x
+            res = float(np.linalg.norm(r)) / bnorm
+            if res < tol:
+                return x, it - 1, res
+            x = x + self.v_cycle(r)
+        r = b - self.levels[0].A @ x
+        return x, maxiter, float(np.linalg.norm(r)) / bnorm

@@ -1,0 +1,77 @@
+"""Newton-Krylov nonlinear solver (PETSc SNES substitute).
+
+Used by the fully-implicit Cahn-Hilliard block solve (paper Sec. II-A,
+step 1).  The residual/Jacobian callbacks assemble sparse operators; inner
+linear solves use our Krylov module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .krylov import bicgstab, gmres
+from .precond import JacobiPreconditioner
+
+
+@dataclass
+class NewtonResult:
+    x: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+
+
+def newton_solve(
+    residual: Callable[[np.ndarray], np.ndarray],
+    jacobian: Callable[[np.ndarray], sp.spmatrix],
+    x0: np.ndarray,
+    *,
+    tol: float = 1e-9,
+    rtol: float = 1e-8,
+    maxiter: int = 25,
+    linear_tol: float = 1e-8,
+    damping: float = 1.0,
+    solver: str = "bicgstab",
+) -> NewtonResult:
+    """Damped Newton with Jacobi-preconditioned Krylov inner solves.
+
+    Converges when ``||F(x)|| < tol`` or drops by ``rtol`` relative to the
+    initial residual.
+    """
+    x = x0.copy()
+    F = residual(x)
+    norm0 = float(np.linalg.norm(F))
+    if norm0 < tol:
+        return NewtonResult(x, 0, norm0, True)
+    lin = bicgstab if solver == "bicgstab" else gmres
+    for it in range(1, maxiter + 1):
+        J = jacobian(x).tocsr()
+        if solver == "lu":
+            dx = sp.linalg.splu(J.tocsc()).solve(-F)
+        else:
+            M = JacobiPreconditioner(J)
+            res = lin(J, -F, M=M, tol=linear_tol, maxiter=4000)
+            dx = res.x
+            if not res.converged or not np.all(np.isfinite(dx)):
+                # Krylov stagnated on a badly scaled Jacobian (the mixed
+                # phi/mu block is saddle-like): sparse-LU fallback.
+                dx = sp.linalg.splu(J.tocsc()).solve(-F)
+        # Backtracking line search on the residual norm.
+        step = damping
+        for _ in range(8):
+            x_new = x + step * dx
+            F_new = residual(x_new)
+            if float(np.linalg.norm(F_new)) < (1.0 - 0.1 * step) * float(
+                np.linalg.norm(F)
+            ) or step < 1e-3:
+                break
+            step *= 0.5
+        x, F = x_new, F_new
+        norm = float(np.linalg.norm(F))
+        if norm < tol or norm < rtol * norm0:
+            return NewtonResult(x, it, norm, True)
+    return NewtonResult(x, maxiter, float(np.linalg.norm(F)), False)

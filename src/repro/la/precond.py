@@ -1,0 +1,84 @@
+"""Preconditioners for the Krylov solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class JacobiPreconditioner:
+    """Diagonal scaling.  Accepts a CSR matrix, a diagonal vector, or any
+    operator exposing ``diagonal()`` (e.g. the matrix-free elemental
+    operator)."""
+
+    def __init__(self, A):
+        if sp.issparse(A):
+            d = A.diagonal()
+        elif isinstance(A, np.ndarray) and A.ndim == 1:
+            d = A
+        elif hasattr(A, "diagonal"):
+            d = np.asarray(A.diagonal())
+        else:
+            raise TypeError("cannot extract a diagonal")
+        d = np.where(np.abs(d) > 1e-300, d, 1.0)
+        self.inv_diag = 1.0 / d
+
+    def matvec(self, r: np.ndarray) -> np.ndarray:
+        return self.inv_diag * r
+
+    __call__ = matvec
+
+
+class BlockJacobiPreconditioner:
+    """Point-block Jacobi for interleaved multi-DOF systems (BAIJ layout):
+    inverts the ``ndof x ndof`` diagonal block of every node."""
+
+    def __init__(self, A: sp.spmatrix, ndof: int):
+        A = A.tocsr()
+        n = A.shape[0]
+        if n % ndof:
+            raise ValueError("matrix size not a multiple of the block size")
+        nb = n // ndof
+        blocks = np.zeros((nb, ndof, ndof))
+        for i in range(ndof):
+            for j in range(ndof):
+                idx = np.arange(nb) * ndof
+                blocks[:, i, j] = np.asarray(
+                    A[idx + i, idx + j]
+                ).ravel()
+        # Regularize empty blocks.
+        sing = np.abs(np.linalg.det(blocks)) < 1e-300
+        blocks[sing] += np.eye(ndof)
+        self.inv_blocks = np.linalg.inv(blocks)
+        self.ndof = ndof
+
+    def matvec(self, r: np.ndarray) -> np.ndarray:
+        nb = len(self.inv_blocks)
+        rb = r.reshape(nb, self.ndof)
+        return np.einsum("bij,bj->bi", self.inv_blocks, rb).ravel()
+
+    __call__ = matvec
+
+
+class SSORPreconditioner:
+    """Symmetric SOR sweep (assembled CSR only)."""
+
+    def __init__(self, A: sp.csr_matrix, omega: float = 1.0):
+        A = A.tocsr()
+        self.omega = omega
+        self.L = sp.tril(A, k=-1).tocsr()
+        self.U = sp.triu(A, k=1).tocsr()
+        d = A.diagonal()
+        self.D = np.where(np.abs(d) > 1e-300, d, 1.0)
+
+    def matvec(self, r: np.ndarray) -> np.ndarray:
+        from scipy.sparse.linalg import spsolve_triangular
+
+        w = self.omega
+        # (D/w + L) y = r ; then (D/w + U) z = D y / w
+        M1 = (sp.diags(self.D / w) + self.L).tocsr()
+        y = spsolve_triangular(M1, r, lower=True)
+        M2 = (sp.diags(self.D / w) + self.U).tocsr()
+        return spsolve_triangular(M2, (self.D / w) * y, lower=False)
+
+    __call__ = matvec

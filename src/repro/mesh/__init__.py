@@ -1,0 +1,10 @@
+"""Adaptive FEM meshes with hanging nodes; inter-grid transfer."""
+
+from .distributed import DistributedField  # noqa: F401
+from .intergrid import (  # noqa: F401
+    par_transfer_node_centered,
+    transfer_cell_centered,
+    transfer_node_centered,
+)
+from .mesh import Mesh, mesh_from_field  # noqa: F401
+from .nodes import NodeTable, enumerate_nodes  # noqa: F401

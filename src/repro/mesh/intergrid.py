@@ -1,0 +1,211 @@
+"""Multi-level inter-grid transfer (paper Sec. II-C2).
+
+After remeshing, fields move from the old grid to the new grid across an
+*arbitrary* number of levels in one shot — the paper's point of departure
+from frameworks that transfer one level at a time.
+
+Node-centered transfer evaluates the old FE field at each new DOF node using
+the old element containing the node (coarse-to-fine interpolation; for
+fine-to-coarse it is nodal injection, one of the paper's listed choices).
+Cell-centered transfer copies coarse values onto overlapped fine cells and
+volume-averages fine values into coarse cells.
+
+The parallel variant follows the paper's four steps: (1) search grid-grid
+overlaps via partition-endpoint rank search over the ⊑ ordering; (2) detach
+and ship source-element *nodes* — deduplicated per destination by flagging,
+not element-by-element copies; (3) run the serial transfer locally;
+(4) (aggregation case) results live on the destination partition, keeping
+the fine-side workload balanced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.comm import Comm
+from ..mpi.sparse_exchange import nbx_exchange
+from ..octree import morton
+from ..octree.overlap import local_overlap_range_interval, overlapping_ranks
+from ..octree.tree import Octree
+from .mesh import Mesh
+from .nodes import pack_points
+
+
+def _eval_in_elements(
+    tree: Octree,
+    corner_vals: np.ndarray,
+    points: np.ndarray,
+    nudge_ref: np.ndarray,
+) -> np.ndarray:
+    """Evaluate a piecewise-multilinear field at grid points.
+
+    ``corner_vals``: (n_elems, 2**dim) nodal values per source element.
+    ``nudge_ref``: per point, a reference point strictly inside the cell the
+    caller wants the evaluation to come from; the source element is located
+    with a one-grid-unit nudge toward it, so points sitting exactly on
+    element boundaries are evaluated from the intended side (values are
+    continuous across faces, so any side gives the same answer — the paper's
+    "final value is arbitrarily picked from one of the instances").
+    """
+    dim = tree.dim
+    probe = points + np.sign(nudge_ref - points).astype(np.int64)
+    probe = np.clip(probe, 0, (1 << morton.MAX_DEPTH) - 1)
+    elems = tree.locate_points(probe)
+    if np.any(elems < 0):
+        raise ValueError("transfer point not covered by the source grid")
+    a = tree.anchors[elems]
+    s = tree.sizes()[elems].astype(np.float64)
+    xi = (points - a) / s[:, None]
+    if np.any(xi < -1e-9) or np.any(xi > 1 + 1e-9):
+        raise AssertionError("evaluation point left the located element")
+    xi = np.clip(xi, 0.0, 1.0)
+    nc = 1 << dim
+    w = np.ones((len(points), nc))
+    for c in range(nc):
+        for axis in range(dim):
+            bit = (c >> axis) & 1
+            w[:, c] *= xi[:, axis] if bit else (1.0 - xi[:, axis])
+    vals = corner_vals[elems]
+    if vals.ndim == 3:
+        return np.einsum("pc,pck->pk", w, vals)
+    return np.einsum("pc,pc->p", w, vals)
+
+
+def transfer_node_centered(
+    old_mesh: Mesh, u_old: np.ndarray, new_mesh: Mesh
+) -> np.ndarray:
+    """Transfer a DOF vector between meshes across arbitrary level jumps."""
+    corner_vals = old_mesh.elem_gather(u_old)
+    new_tree = new_mesh.tree
+    # For every new DOF node pick one new element owning it as a corner, and
+    # nudge the evaluation into that element's interior.
+    node_elem = np.zeros(new_mesh.n_nodes, dtype=np.int64)
+    node_elem[new_mesh.nodes.elem_nodes.ravel()] = np.repeat(
+        np.arange(new_mesh.n_elems), 1 << new_mesh.dim
+    )
+    dof_nodes = new_mesh.nodes.node_of_dof
+    pts = new_mesh.nodes.coords[dof_nodes]
+    owner = node_elem[dof_nodes]
+    centers = new_tree.centers()[owner].astype(np.int64)
+    return _eval_in_elements(old_mesh.tree, corner_vals, pts, centers)
+
+
+def transfer_cell_centered(
+    old_tree: Octree, vals: np.ndarray, new_tree: Octree
+) -> np.ndarray:
+    """Cell-centered transfer: copy coarse->fine, volume-average fine->coarse."""
+    vals = np.asarray(vals, dtype=np.float64)
+    out = np.zeros(len(new_tree))
+    # Which old leaf covers each new center (old coarser or equal)?
+    new_centers = new_tree.centers().astype(np.int64)
+    old_idx = old_tree.locate_points(new_centers)
+    if np.any(old_idx < 0):
+        raise ValueError("grids do not cover the same region")
+    covered = old_tree.levels[old_idx] <= new_tree.levels
+    out[covered] = vals[old_idx[covered]]
+    # New leaves coarser than the old grid: average contained old leaves.
+    todo = ~covered
+    if np.any(todo):
+        old_centers = old_tree.centers().astype(np.int64)
+        new_of_old = new_tree.locate_points(old_centers)
+        w = old_tree.volumes()
+        num = np.zeros(len(new_tree))
+        den = np.zeros(len(new_tree))
+        np.add.at(num, new_of_old, w * vals)
+        np.add.at(den, new_of_old, w)
+        out[todo] = num[todo] / den[todo]
+    return out
+
+
+# --------------------------------------------------------------- parallel
+
+
+def par_transfer_node_centered(
+    comm: Comm,
+    old_tree_local: Octree,
+    old_corner_vals: np.ndarray,
+    new_mesh_local: Mesh,
+    old_endpoints,
+    new_endpoints,
+) -> np.ndarray:
+    """Distributed node-centered transfer between SFC-partitioned grids.
+
+    Each rank holds a chunk of the old grid as *self-contained elemental
+    data* — octants plus per-corner field values ``old_corner_vals`` of shape
+    ``(n_local_old_elems, 2**dim)`` (hanging nodes already interpolated, i.e.
+    the detached-node view of the paper) — and a local Mesh of its chunk of
+    the new grid.  ``old_endpoints`` / ``new_endpoints`` are the allgathered
+    partition endpoints ``(lows, highs)`` of the two grids.  Returns the
+    new-local DOF values.
+
+    Realizes the paper's four steps at simulator scale: overlap ranks found
+    from endpoints only (identical on all processes), node payloads
+    deduplicated per destination by corner-key flagging, shipped via the NBX
+    sparse exchange, then the serial evaluation runs locally.
+    """
+    old_lows, old_highs = old_endpoints
+    new_lows, new_highs = new_endpoints
+    dim = new_mesh_local.dim
+
+    # --- step 1+2: ship my old elements to every overlapping new rank -----
+    outgoing = {}
+    if len(old_tree_local):
+        my_lo = (old_tree_local.anchors[0], int(old_tree_local.levels[0]))
+        my_hi = (old_tree_local.anchors[-1], int(old_tree_local.levels[-1]))
+        targets = overlapping_ranks(my_lo, my_hi, new_lows, new_highs, dim)
+        corner_keys = pack_points(old_tree_local.corners(), dim)  # (n, nc)
+        for q in targets:
+            if new_lows[q] is None:
+                continue
+            s, e = local_overlap_range_interval(
+                old_tree_local, new_lows[q], new_highs[q]
+            )
+            if e <= s:
+                continue
+            # Detach nodes for element range [s, e): flag + gather unique
+            # corner keys so shared nodes ship once, not per element.
+            sub_keys = corner_keys[s:e]
+            uniq, conn = np.unique(sub_keys, return_inverse=True)
+            conn = conn.reshape(sub_keys.shape)
+            node_vals = np.zeros(len(uniq))
+            node_vals[conn.ravel()] = old_corner_vals[s:e].ravel()
+            outgoing[q] = {
+                "anchors": old_tree_local.anchors[s:e],
+                "levels": old_tree_local.levels[s:e],
+                "conn": conn,
+                "node_vals": node_vals,
+            }
+
+    incoming = nbx_exchange(comm, outgoing)
+
+    # --- step 3: build a local source patch and evaluate -------------------
+    pieces = sorted(incoming.items())
+    if not pieces:
+        if len(new_mesh_local.tree) and new_mesh_local.n_dofs:
+            raise ValueError("no source data received for a non-empty chunk")
+        return np.zeros(0)
+    anchors = np.concatenate([p["anchors"] for _, p in pieces])
+    levels = np.concatenate([p["levels"] for _, p in pieces])
+    vals_list = []
+    for _, p in pieces:
+        vals_list.append(p["node_vals"][p["conn"]])
+    corner_vals = np.concatenate(vals_list)
+    order = np.argsort(morton.keys(anchors, levels, dim), kind="stable")
+    patch = Octree(anchors[order], levels[order], dim, presorted=True)
+    # Duplicate elements may arrive from neighboring ranks; linearizing
+    # with value carry-over:
+    keys = patch.keys()
+    keep = np.ones(len(keys), dtype=bool)
+    keep[1:] = keys[1:] != keys[:-1]
+    patch = Octree(patch.anchors[keep], patch.levels[keep], dim, presorted=True)
+    corner_vals = corner_vals[order][keep]
+
+    node_elem = np.zeros(new_mesh_local.n_nodes, dtype=np.int64)
+    node_elem[new_mesh_local.nodes.elem_nodes.ravel()] = np.repeat(
+        np.arange(new_mesh_local.n_elems), 1 << dim
+    )
+    dof_nodes = new_mesh_local.nodes.node_of_dof
+    pts = new_mesh_local.nodes.coords[dof_nodes]
+    owner = node_elem[dof_nodes]
+    centers = new_mesh_local.tree.centers()[owner].astype(np.int64)
+    return _eval_in_elements(patch, corner_vals, pts, centers)

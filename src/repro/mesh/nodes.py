@@ -1,0 +1,218 @@
+"""Nodal enumeration for continuous-Galerkin FEM on 2:1-balanced octrees.
+
+Linear CG elements place nodes at element corners.  On an adaptive octree a
+corner of a fine element may lie in the interior of a coarser neighbor's face
+or edge — a *hanging* node.  Hanging nodes carry no degree of freedom; their
+values interpolate multilinearly from the coarse element's corner nodes (the
+paper, Sec. II-B2, challenge 3: thresholded fields take values strictly
+between the binary limits exactly at these nodes).
+
+The enumeration is mesh-free in the paper's sense: nodes are identified by
+their location code only, and hangingness is decided by point-location
+queries against the leaf set — no neighbor lists are stored.
+
+The central product is the interpolation matrix ``P`` with shape
+``(n_nodes, n_dofs)``: for any vector of independent DOFs ``u``, ``P @ u``
+gives values at *all* nodes (hanging included).  Every FEM kernel downstream
+(MATVEC, assembly, erosion/dilation) is expressed through ``P`` and its
+transpose, which is exactly the gather/scatter structure of the paper's
+elemental loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..octree import morton
+from ..octree.tree import Octree
+
+_PACK_BITS = morton.MAX_DEPTH + 1  # node coords span [0, 2**MAX_DEPTH] inclusive
+
+
+def pack_points(points: np.ndarray, dim: int) -> np.ndarray:
+    """Unique uint64 key per grid point (coords may equal 2**MAX_DEPTH)."""
+    points = np.asarray(points, dtype=np.uint64)
+    out = np.zeros(points.shape[:-1], dtype=np.uint64)
+    for axis in range(dim):
+        out |= points[..., axis] << np.uint64(axis * _PACK_BITS)
+    return out
+
+
+def unpack_points(keys: np.ndarray, dim: int) -> np.ndarray:
+    keys = np.asarray(keys, dtype=np.uint64)
+    mask = np.uint64((1 << _PACK_BITS) - 1)
+    out = np.zeros(keys.shape + (dim,), dtype=np.int64)
+    for axis in range(dim):
+        out[..., axis] = ((keys >> np.uint64(axis * _PACK_BITS)) & mask).astype(
+            np.int64
+        )
+    return out
+
+
+@dataclass
+class NodeTable:
+    """Nodes, element connectivity, hanging-node interpolation."""
+
+    coords: np.ndarray  # (n_nodes, dim) integer grid coords
+    elem_nodes: np.ndarray  # (n_elems, 2**dim) node indices, Morton corner order
+    is_hanging: np.ndarray  # (n_nodes,) bool
+    dof_of_node: np.ndarray  # (n_nodes,) dof index or -1 for hanging
+    node_of_dof: np.ndarray  # (n_dofs,) node index
+    P: sp.csr_matrix  # (n_nodes, n_dofs) interpolation
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.coords)
+
+    @property
+    def n_dofs(self) -> int:
+        return len(self.node_of_dof)
+
+    def node_values(self, dof_values: np.ndarray) -> np.ndarray:
+        """Values at every node (hanging nodes interpolated): ``P @ u``.
+
+        Supports multi-DOF arrays of shape ``(n_dofs, k)``.
+        """
+        return self.P @ dof_values
+
+    def accumulate(self, node_accum: np.ndarray) -> np.ndarray:
+        """Scatter-add nodal contributions back to DOFs: ``P.T @ a``."""
+        return self.P.T @ node_accum
+
+
+def enumerate_nodes(tree: Octree) -> NodeTable:
+    """Enumerate CG nodes of a 2:1-balanced linear octree."""
+    dim = tree.dim
+    nc = 1 << dim
+    corners = tree.corners()  # (N, nc, dim)
+    packed = pack_points(corners, dim)
+    uniq, inv = np.unique(packed, return_inverse=True)
+    elem_nodes = inv.reshape(len(tree), nc).astype(np.int64)
+    coords = unpack_points(uniq, dim)
+    n_nodes = len(coords)
+
+    # --- find touching leaves via probe points p + off, off in {0,-1}^dim ---
+    offsets = np.zeros((nc, dim), dtype=np.int64)
+    for c in range(nc):
+        for axis in range(dim):
+            offsets[c, axis] = -((c >> axis) & 1)
+    probes = coords[:, None, :] + offsets[None, :, :]  # (M, nc, dim)
+    bound = 1 << morton.MAX_DEPTH
+    valid = np.all((probes >= 0) & (probes < bound), axis=-1)
+    touch = np.full((n_nodes, nc), -1, dtype=np.int64)
+    flat_ok = valid.reshape(-1)
+    flat_pts = probes.reshape(-1, dim)
+    loc = np.full(len(flat_pts), -1, dtype=np.int64)
+    if np.any(flat_ok):
+        loc[flat_ok] = tree.locate_points(flat_pts[flat_ok])
+    touch = loc.reshape(n_nodes, nc)
+
+    # --- hangingness: p must be a corner of every touching leaf -------------
+    t_idx = np.where(touch >= 0, touch, 0)
+    t_anchor = tree.anchors[t_idx]  # (M, nc, dim)
+    t_size = tree.sizes()[t_idx]  # (M, nc)
+    rel = coords[:, None, :] - t_anchor
+    is_corner = np.all(
+        (rel == 0) | (rel == t_size[..., None]), axis=-1
+    )  # (M, nc)
+    non_corner = (touch >= 0) & ~is_corner
+    is_hanging = np.any(non_corner, axis=1)
+
+    # --- interpolation parents for hanging nodes ----------------------------
+    # Use the coarsest touching leaf for which the node is interior to a
+    # face/edge; multilinear evaluation in that element gives the weights.
+    dof_of_node = np.full(n_nodes, -1, dtype=np.int64)
+    dof_of_node[~is_hanging] = np.arange(int((~is_hanging).sum()))
+    node_of_dof = np.nonzero(~is_hanging)[0].astype(np.int64)
+    n_dofs = len(node_of_dof)
+
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+    # Non-hanging rows: identity.
+    nh = ~is_hanging
+    rows.append(np.nonzero(nh)[0])
+    cols.append(dof_of_node[nh])
+    vals.append(np.ones(n_dofs))
+
+    h_idx = np.nonzero(is_hanging)[0]
+    if len(h_idx):
+        # Pick per hanging node the touching leaf with minimum level among
+        # the non-corner ones.
+        lev = np.where(non_corner[h_idx], tree.levels[t_idx[h_idx]], 10**9)
+        pick = np.argmin(lev, axis=1)
+        leaf = touch[h_idx, pick]
+        a = tree.anchors[leaf]
+        s = tree.sizes()[leaf].astype(np.float64)
+        xi = (coords[h_idx] - a) / s[:, None]  # in [0,1]^dim
+        # Multilinear weights over the leaf's 2**dim corners.
+        w = np.ones((len(h_idx), nc))
+        for c in range(nc):
+            for axis in range(dim):
+                bit = (c >> axis) & 1
+                w[:, c] *= xi[:, axis] if bit else (1.0 - xi[:, axis])
+        # Corner node ids of the chosen leaves.
+        corner_nodes = elem_nodes[leaf]  # works because leaf is an element idx
+        keep = w > 1e-12
+        r = np.repeat(h_idx, keep.sum(axis=1))
+        c_nodes = corner_nodes[keep]
+        weights = w[keep]
+        # Resolve chains: parents that are themselves hanging get substituted
+        # until only DOF-carrying nodes remain (bounded by MAX_DEPTH).
+        entries = {"r": r, "n": c_nodes, "w": weights}
+        for _ in range(morton.MAX_DEPTH + 1):
+            hang_par = is_hanging[entries["n"]]
+            if not np.any(hang_par):
+                break
+            # Keep resolved entries; expand hanging parents one level.
+            keep_r = entries["r"][~hang_par]
+            keep_n = entries["n"][~hang_par]
+            keep_w = entries["w"][~hang_par]
+            er = entries["r"][hang_par]
+            en = entries["n"][hang_par]
+            ew = entries["w"][hang_par]
+            # Each hanging parent en has its own first-level expansion,
+            # recorded in (r, c_nodes, weights) rows where r == en.
+            order = np.argsort(r, kind="stable")
+            rs, ns, ws = r[order], c_nodes[order], weights[order]
+            starts = np.searchsorted(rs, en, side="left")
+            ends = np.searchsorted(rs, en, side="right")
+            counts = ends - starts
+            new_r = np.repeat(er, counts)
+            new_w_scale = np.repeat(ew, counts)
+            gather = np.concatenate(
+                [np.arange(s0, e0) for s0, e0 in zip(starts, ends)]
+            ) if len(en) else np.zeros(0, np.int64)
+            new_n = ns[gather]
+            new_w = new_w_scale * ws[gather]
+            entries = {
+                "r": np.concatenate([keep_r, new_r]),
+                "n": np.concatenate([keep_n, new_n]),
+                "w": np.concatenate([keep_w, new_w]),
+            }
+        else:  # pragma: no cover - would indicate an unbalanced tree
+            raise RuntimeError("hanging-node chain did not resolve")
+        rows.append(entries["r"])
+        cols.append(dof_of_node[entries["n"]])
+        vals.append(entries["w"])
+
+    P = sp.csr_matrix(
+        (
+            np.concatenate(vals),
+            (np.concatenate(rows), np.concatenate(cols)),
+        ),
+        shape=(n_nodes, n_dofs),
+    )
+    P.sum_duplicates()
+
+    return NodeTable(
+        coords=coords,
+        elem_nodes=elem_nodes,
+        is_hanging=is_hanging,
+        dof_of_node=dof_of_node,
+        node_of_dof=node_of_dof,
+        P=P,
+    )

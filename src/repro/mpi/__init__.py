@@ -1,0 +1,6 @@
+"""Simulated MPI substrate: SPMD threads, collectives, sparse exchange."""
+
+from .comm import ANY_SOURCE, ANY_TAG, Comm, SpmdError, run_spmd  # noqa: F401
+from .sort import kway_sort, partition_balanced, sample_sort  # noqa: F401
+from .sparse_exchange import dense_exchange, nbx_exchange  # noqa: F401
+from .stats import CommStats  # noqa: F401

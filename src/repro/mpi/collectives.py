@@ -1,0 +1,59 @@
+"""NumPy-typed convenience collectives over :class:`~repro.mpi.comm.Comm`.
+
+Mirrors the mpi4py convention that buffer-based (array) operations are the
+fast path; everything here takes and returns ndarrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .comm import Comm
+
+
+def allreduce_sum(comm: Comm, arr: np.ndarray) -> np.ndarray:
+    return comm.allreduce(np.asarray(arr), lambda a, b: a + b)
+
+
+def allreduce_max(comm: Comm, arr: np.ndarray) -> np.ndarray:
+    return comm.allreduce(np.asarray(arr), np.maximum)
+
+
+def allreduce_min(comm: Comm, arr: np.ndarray) -> np.ndarray:
+    return comm.allreduce(np.asarray(arr), np.minimum)
+
+
+def allgatherv(comm: Comm, arr: np.ndarray) -> np.ndarray:
+    """Concatenate per-rank arrays in rank order."""
+    parts = comm.allgather(np.asarray(arr))
+    return np.concatenate(parts) if parts else np.asarray(arr)
+
+
+def gatherv(comm: Comm, arr: np.ndarray, root: int = 0):
+    parts = comm.gather(np.asarray(arr), root=root)
+    if comm.rank == root:
+        return np.concatenate(parts)
+    return None
+
+
+def scatterv(comm: Comm, arr, counts, root: int = 0) -> np.ndarray:
+    """Scatter contiguous chunks with per-rank counts."""
+    if comm.rank == root:
+        counts = np.asarray(counts, dtype=np.int64)
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        chunks = [arr[bounds[r] : bounds[r + 1]] for r in range(comm.size)]
+    else:
+        chunks = None
+    return comm.scatter(chunks, root=root)
+
+
+def exscan_sum(comm: Comm, value: int) -> int:
+    """Exclusive prefix sum of scalars (0 on rank 0)."""
+    out = comm.exscan(value)
+    return 0 if out is None else out
+
+
+def alltoallv_counts(comm: Comm, arrays: list[np.ndarray]):
+    """Alltoallv returning both the received arrays and their source counts."""
+    recv = comm.alltoallv(arrays)
+    return recv, np.asarray([len(a) for a in recv], dtype=np.int64)

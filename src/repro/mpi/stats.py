@@ -1,0 +1,76 @@
+"""Communication statistics.
+
+Every simulated communicator records the traffic it generates.  These
+counters are the raw input to the performance model (:mod:`repro.perf`) that
+reproduces the paper's Frontera scaling figures: the simulator runs the real
+SPMD algorithms at small rank counts and the model extrapolates using the
+measured message counts and byte volumes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def payload_bytes(obj) -> int:
+    """Wire size of a message payload (ndarray fast path, pickle fallback)."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (tuple, list)) and all(
+        isinstance(x, np.ndarray) for x in obj
+    ):
+        return sum(x.nbytes for x in obj)
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 8
+    if obj is None:
+        return 0
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # pragma: no cover - unpicklable sentinel objects
+        return 64
+
+
+@dataclass
+class CommStats:
+    """Per-world aggregate communication counters (thread-safe)."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    collectives: int = 0
+    collective_bytes: int = 0
+    barriers: int = 0
+    comm_splits: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_p2p(self, nbytes: int) -> None:
+        with self._lock:
+            self.messages += 1
+            self.bytes_sent += nbytes
+
+    def record_collective(self, nbytes: int) -> None:
+        with self._lock:
+            self.collectives += 1
+            self.collective_bytes += nbytes
+
+    def record_barrier(self) -> None:
+        with self._lock:
+            self.barriers += 1
+
+    def record_split(self) -> None:
+        with self._lock:
+            self.comm_splits += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "messages": self.messages,
+                "bytes_sent": self.bytes_sent,
+                "collectives": self.collectives,
+                "collective_bytes": self.collective_bytes,
+                "barriers": self.barriers,
+                "comm_splits": self.comm_splits,
+            }

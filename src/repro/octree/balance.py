@@ -1,0 +1,66 @@
+"""2:1 balancing of linear octrees.
+
+A leaf set is 2:1-balanced when any two leaves sharing a face, edge, or
+corner differ by at most one level.  Balance is a prerequisite for the
+hanging-node FEM construction (each hanging node then interpolates from
+non-hanging parents) and is restored after every multi-level refinement or
+coarsening, as in the paper (Sec. II-C1a).
+
+The implementation is "ripple" balancing: repeatedly locate, for every leaf,
+the leaf containing each directional sample point; any located leaf more than
+one level coarser is refined (directly to the required level via the
+multi-level :func:`~repro.octree.refine.refine`), until a fixed point.
+Termination is guaranteed because levels only increase and are bounded by
+``MAX_DEPTH``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .domain import Domain
+from . import morton
+from .neighbors import leaf_neighbors
+from .refine import refine
+from .tree import Octree
+
+
+def balance(tree: Octree, *, domain: Optional[Domain] = None) -> Octree:
+    """Return the minimal 2:1-balanced refinement of a linear octree."""
+    if not tree.is_linear():
+        raise ValueError("balance requires a linear (leaf) octree")
+    current = tree
+    for _ in range(4 * morton.MAX_DEPTH):  # +1 ripple: bounded by depth span
+        nbr = leaf_neighbors(current)  # (n, m) leaf indices
+        levels = current.levels
+        valid = nbr >= 0
+        nbr_levels = np.where(valid, levels[np.where(valid, nbr, 0)], 10**9)
+        # The leaf in direction d must be at least (my level - 1).
+        required = levels[:, None] - 1
+        viol = valid & (nbr_levels < required)
+        if not np.any(viol):
+            return current
+        targets = levels.copy()
+        flat_nbr = nbr[viol]
+        flat_req = np.broadcast_to(required, viol.shape)[viol]
+        np.maximum.at(targets, flat_nbr, flat_req)
+        # Refine offenders by at most one level per pass: the +1 ripple
+        # converges to the *minimal* balanced closure (refining straight to
+        # the required level would refine the offender's whole footprint,
+        # over-resolving the parts far from the fine neighbor).
+        targets = np.minimum(targets, levels + 1)
+        current = refine(current, targets, domain=domain)
+    raise RuntimeError("2:1 balance did not converge")  # pragma: no cover
+
+
+def is_balanced(tree: Octree) -> bool:
+    """Check the 2:1 condition over all face/edge/corner adjacencies."""
+    if len(tree) < 2:
+        return True
+    nbr = leaf_neighbors(tree)
+    valid = nbr >= 0
+    nbr_levels = np.where(valid, tree.levels[np.where(valid, nbr, 0)], 0)
+    diff = np.abs(np.where(valid, nbr_levels - tree.levels[:, None], 0))
+    return bool(np.all(diff <= 1))

@@ -1,0 +1,187 @@
+"""Octree construction.
+
+Trees are grown top-down from a refinement predicate (e.g. "refine while the
+diffuse interface crosses this octant"), optionally restricted to a carved
+:class:`~repro.octree.domain.Domain` — void octants are discarded as they are
+produced, yielding an incomplete octree exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from . import morton
+from .domain import Domain
+from .tree import Octree
+
+RefinePredicate = Callable[[np.ndarray, np.ndarray], np.ndarray]
+"""Maps (anchors (n, dim), levels (n,)) -> bool mask: True = subdivide."""
+
+
+def build_tree(
+    dim: int,
+    refine: RefinePredicate,
+    *,
+    max_level: int,
+    min_level: int = 0,
+    domain: Optional[Domain] = None,
+) -> Octree:
+    """Grow a linear octree from the root.
+
+    Every octant below ``min_level`` is always subdivided; octants at
+    ``max_level`` never are.  ``refine`` decides everything in between.
+    Void octants (per ``domain``) are discarded.
+    """
+    if not 0 <= min_level <= max_level <= morton.MAX_DEPTH:
+        raise ValueError("bad level bounds")
+    anchors = np.zeros((1, dim), dtype=np.int64)
+    levels = np.zeros(1, dtype=np.int64)
+    done_a, done_l = [], []
+    while len(levels):
+        if domain is not None:
+            keep = domain.retain(anchors, levels)
+            anchors, levels = anchors[keep], levels[keep]
+            if not len(levels):
+                break
+        want = refine(anchors, levels) if len(levels) else np.zeros(0, bool)
+        want = np.asarray(want, dtype=bool) | (levels < min_level)
+        want &= levels < max_level
+        if np.any(~want):
+            done_a.append(anchors[~want])
+            done_l.append(levels[~want])
+        if not np.any(want):
+            break
+        ca, cl = morton.children(anchors[want], levels[want], dim)
+        anchors = ca.reshape(-1, dim)
+        levels = cl.reshape(-1)
+    if done_a:
+        out = Octree(np.concatenate(done_a), np.concatenate(done_l), dim)
+    else:
+        out = Octree.empty(dim)
+    return out
+
+
+def uniform_tree(dim: int, level: int, domain: Optional[Domain] = None) -> Octree:
+    """Complete uniform tree at the given level (restricted to ``domain``)."""
+
+    def never(anchors, levels):
+        return np.zeros(len(levels), dtype=bool)
+
+    return build_tree(dim, never, max_level=level, min_level=level, domain=domain)
+
+
+def tree_from_function(
+    dim: int,
+    field: Callable[[np.ndarray], np.ndarray],
+    *,
+    max_level: int,
+    min_level: int = 2,
+    threshold: float = 1.0,
+    domain: Optional[Domain] = None,
+) -> Octree:
+    """Refine octants crossed by (or near) the zero set of ``field``.
+
+    ``field`` takes unit-cube coordinates ``(n, dim)`` and returns ``(n,)``
+    values; the canonical use is a phase field ``phi`` with ``|phi| < 1`` near
+    the interface (the paper refines where ``|phi| < delta``).  An octant is
+    subdivided when the field changes sign across its corners/center or any
+    sample magnitude falls below ``threshold``.
+    """
+    scale = float(1 << morton.MAX_DEPTH)
+    nc = 1 << dim
+    corner_off = np.zeros((nc + 1, dim), dtype=np.float64)
+    for c in range(nc):
+        for axis in range(dim):
+            corner_off[c, axis] = (c >> axis) & 1
+    corner_off[nc] = 0.5  # center sample
+
+    def pred(anchors, levels):
+        size = morton.cell_size(levels).astype(np.float64)
+        pts = (
+            anchors[:, None, :].astype(np.float64)
+            + corner_off[None, :, :] * size[:, None, None]
+        ) / scale
+        vals = np.asarray(field(pts.reshape(-1, dim))).reshape(len(levels), nc + 1)
+        near = np.any(np.abs(vals) < threshold, axis=1)
+        crossing = (vals.min(axis=1) < 0) & (vals.max(axis=1) > 0)
+        return near | crossing
+
+    return build_tree(
+        dim, pred, max_level=max_level, min_level=min_level, domain=domain
+    )
+
+
+def tree_from_points(
+    dim: int,
+    points: np.ndarray,
+    *,
+    max_points_per_leaf: int = 8,
+    max_level: int = morton.MAX_DEPTH,
+    min_level: int = 0,
+) -> Octree:
+    """Refine until no leaf holds more than ``max_points_per_leaf`` samples.
+
+    ``points`` are unit-cube coordinates (n, dim) — e.g. Lagrangian droplet
+    seeds or sensor locations.  The classic point-octree construction used to
+    initialize particle-laden configurations.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != dim:
+        raise ValueError("points must have shape (n, dim)")
+    if np.any(points < 0) or np.any(points >= 1):
+        raise ValueError("points must lie in [0, 1)")
+    grid = (points * (1 << morton.MAX_DEPTH)).astype(np.int64)
+
+    def pred(anchors, levels):
+        lo, hi = morton.descendant_key_range(anchors, levels, dim)
+        pk = np.sort(morton.point_keys(grid, dim))
+        counts = np.searchsorted(pk, hi) - np.searchsorted(pk, lo)
+        return counts > max_points_per_leaf
+
+    return build_tree(dim, pred, max_level=max_level, min_level=min_level)
+
+
+def complete_region(
+    a_anchor, a_level: int, b_anchor, b_level: int, dim: int
+) -> Octree:
+    """Minimal complete linear octree covering the SFC range between two
+    octants ``a < b`` (exclusive of a and b themselves) — the p4est-style
+    ``complete_region`` primitive used when constructing complete trees from
+    scattered seeds."""
+    a_anchor = np.asarray(a_anchor, dtype=np.int64)
+    b_anchor = np.asarray(b_anchor, dtype=np.int64)
+    ka = morton.keys(a_anchor[None], np.asarray([a_level]), dim)[0]
+    kb = morton.keys(b_anchor[None], np.asarray([b_level]), dim)[0]
+    if not ka < kb:
+        raise ValueError("need a < b in SFC order")
+    out_a, out_l = [], []
+
+    def visit(anchor, level):
+        k = morton.keys(anchor[None], np.asarray([level]), dim)[0]
+        lo, hi = morton.descendant_key_range(anchor[None], np.asarray([level]), dim)
+        # Entirely outside the open interval (a, b)?
+        if hi[0] <= ka or k >= kb:
+            return
+        # Inside an endpoint (exclusive): nothing to emit there.
+        if morton.is_ancestor(a_anchor, a_level, anchor, level) or morton.is_ancestor(
+            b_anchor, b_level, anchor, level
+        ):
+            return
+        # Strict ancestor of an endpoint: must descend to carve around it.
+        anc_a = bool(morton.is_ancestor(anchor, level, a_anchor, a_level, strict=True))
+        anc_b = bool(morton.is_ancestor(anchor, level, b_anchor, b_level, strict=True))
+        if not anc_a and not anc_b:
+            if k > ka:
+                out_a.append(anchor.copy())
+                out_l.append(level)
+            return
+        ca, cl = morton.children(anchor, np.int64(level), dim)
+        for c in range(1 << dim):
+            visit(ca[c], int(cl[c]))
+
+    visit(np.zeros(dim, dtype=np.int64), 0)
+    if not out_a:
+        return Octree.empty(dim)
+    return Octree(np.stack(out_a), np.asarray(out_l), dim, presorted=True)

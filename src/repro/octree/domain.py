@@ -1,0 +1,102 @@
+"""Domains for incomplete octrees.
+
+The paper's framework (Sec. II-C) supports *incomplete* octrees: leaf sets
+restricted to a carved computational domain (e.g. a nozzle geometry).  An
+octant entirely outside the domain is *void* and is discarded; octants that
+intersect the domain boundary are *intercepted* and retained.  We express the
+domain as a "retain" predicate on octant boxes, following the domain-test
+approach described in the paper's parallel-coarsening discussion (option one).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import morton
+
+
+class Domain:
+    """Base class: the full root cube (complete octrees)."""
+
+    def retain(self, anchors: np.ndarray, levels: np.ndarray) -> np.ndarray:
+        """Boolean mask of octants that intersect the domain (non-void)."""
+        return np.ones(np.asarray(levels).shape, dtype=bool)
+
+    def fully_inside(self, anchors: np.ndarray, levels: np.ndarray) -> np.ndarray:
+        """Boolean mask of octants entirely inside the domain (no boundary cut)."""
+        return np.ones(np.asarray(levels).shape, dtype=bool)
+
+
+class BoxDomain(Domain):
+    """Axis-aligned box in unit coordinates ``[lo, hi] subset [0, 1]**dim``."""
+
+    def __init__(self, lo, hi):
+        self.lo = np.asarray(lo, dtype=np.float64)
+        self.hi = np.asarray(hi, dtype=np.float64)
+        if np.any(self.lo >= self.hi):
+            raise ValueError("degenerate box")
+
+    def _bounds(self, anchors, levels):
+        scale = float(1 << morton.MAX_DEPTH)
+        anchors = np.asarray(anchors, dtype=np.float64) / scale
+        size = morton.cell_size(levels).astype(np.float64) / scale
+        return anchors, anchors + size[..., None]
+
+    def retain(self, anchors, levels):
+        a, b = self._bounds(anchors, levels)
+        return np.all((b > self.lo) & (a < self.hi), axis=-1)
+
+    def fully_inside(self, anchors, levels):
+        a, b = self._bounds(anchors, levels)
+        return np.all((a >= self.lo) & (b <= self.hi), axis=-1)
+
+
+class SphereDomain(Domain):
+    """Ball of given center/radius in unit coordinates.
+
+    The retain test is conservative (box-vs-sphere distance), which is exactly
+    what an octree domain test needs: it may retain a few extra cut octants
+    but never discards an intersecting one.
+    """
+
+    def __init__(self, center, radius: float):
+        self.center = np.asarray(center, dtype=np.float64)
+        self.radius = float(radius)
+
+    def retain(self, anchors, levels):
+        scale = float(1 << morton.MAX_DEPTH)
+        a = np.asarray(anchors, dtype=np.float64) / scale
+        size = morton.cell_size(levels).astype(np.float64) / scale
+        b = a + size[..., None]
+        # Distance from sphere center to the box.
+        nearest = np.clip(self.center, a, b)
+        d2 = np.sum((nearest - self.center) ** 2, axis=-1)
+        return d2 <= self.radius**2
+
+    def fully_inside(self, anchors, levels):
+        scale = float(1 << morton.MAX_DEPTH)
+        a = np.asarray(anchors, dtype=np.float64) / scale
+        size = morton.cell_size(levels).astype(np.float64) / scale
+        b = a + size[..., None]
+        farthest = np.where(
+            np.abs(a - self.center) > np.abs(b - self.center), a, b
+        )
+        d2 = np.sum((farthest - self.center) ** 2, axis=-1)
+        return d2 <= self.radius**2
+
+
+class ComplementDomain(Domain):
+    """Everything outside an obstacle's ``fully_inside`` region.
+
+    Useful for flows around immersed objects: octants fully inside the
+    obstacle are void.
+    """
+
+    def __init__(self, obstacle: Domain):
+        self.obstacle = obstacle
+
+    def retain(self, anchors, levels):
+        return ~self.obstacle.fully_inside(anchors, levels)
+
+    def fully_inside(self, anchors, levels):
+        return ~self.obstacle.retain(anchors, levels)

@@ -1,0 +1,81 @@
+"""Neighbor queries on linear octrees.
+
+Octrees store no explicit neighbor pointers (the paper stresses that its
+algorithms avoid neighbor data structures); everything here reduces to point
+location via binary search on SFC keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import morton
+from .tree import Octree
+
+
+def direction_stencil(dim: int) -> np.ndarray:
+    """All ``3**dim - 1`` direction vectors in {-1, 0, 1}**dim, excluding 0."""
+    grids = np.meshgrid(*([np.array([-1, 0, 1])] * dim), indexing="ij")
+    dirs = np.stack([g.ravel() for g in grids], axis=1)
+    return dirs[np.any(dirs != 0, axis=1)]
+
+
+def neighbor_sample_points(anchors: np.ndarray, levels: np.ndarray, dim: int):
+    """Sample points just outside each octant, one per direction.
+
+    Returns ``points`` of shape ``(n, 3**dim - 1, dim)`` and a boolean
+    ``inside`` mask marking points that fall inside the root cube.  The point
+    for direction ``d`` sits one grid unit outside the octant across the
+    middle of the corresponding face / edge / corner; by the octant-alignment
+    covering property, the leaf containing this point is coarser-or-equal to
+    *every* leaf touching the octant across that face / edge / corner, so a
+    single sample per direction suffices for 2:1-balance checks.
+    """
+    anchors = np.asarray(anchors, dtype=np.int64)
+    levels = np.asarray(levels, dtype=np.int64)
+    size = morton.cell_size(levels)
+    dirs = direction_stencil(dim)  # (m, dim)
+    # coordinate per axis: -1 -> anchor-1 ; 0 -> anchor + size//2 ; 1 -> anchor+size
+    lo = anchors[:, None, :] - 1
+    mid = anchors[:, None, :] + (size[:, None, None] // 2)
+    hi = anchors[:, None, :] + size[:, None, None]
+    d = dirs[None, :, :]
+    points = np.where(d < 0, lo, np.where(d == 0, mid, hi))
+    bound = 1 << morton.MAX_DEPTH
+    inside = np.all((points >= 0) & (points < bound), axis=-1)
+    return points, inside
+
+
+def leaf_neighbors(tree: Octree, indices: np.ndarray | None = None):
+    """For each leaf (or subset), the index of the leaf containing each
+    directional sample point (-1 where outside the root cube or uncovered).
+
+    Returns an ``(n, 3**dim - 1)`` array of leaf indices.
+    """
+    if indices is None:
+        anchors, levels = tree.anchors, tree.levels
+    else:
+        anchors, levels = tree.anchors[indices], tree.levels[indices]
+    points, inside = neighbor_sample_points(anchors, levels, tree.dim)
+    flat = points.reshape(-1, tree.dim)
+    ok = inside.reshape(-1)
+    out = np.full(len(flat), -1, dtype=np.int64)
+    if np.any(ok):
+        out[ok] = tree.locate_points(flat[ok])
+    return out.reshape(points.shape[:2])
+
+
+def face_neighbor_anchors(anchors, levels, dim: int):
+    """Same-level face-neighbor anchors, shape ``(n, 2*dim, dim)``, plus an
+    ``inside`` root-cube mask ``(n, 2*dim)``."""
+    anchors = np.asarray(anchors, dtype=np.int64)
+    levels = np.asarray(levels, dtype=np.int64)
+    size = morton.cell_size(levels)
+    n = len(levels)
+    out = np.repeat(anchors[:, None, :], 2 * dim, axis=1)
+    for axis in range(dim):
+        out[:, 2 * axis, axis] -= size
+        out[:, 2 * axis + 1, axis] += size
+    bound = 1 << morton.MAX_DEPTH
+    inside = np.all((out >= 0) & (out < bound), axis=-1)
+    return out, inside

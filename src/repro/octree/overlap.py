@@ -1,0 +1,142 @@
+"""Overlap/rank search over two leaf sets (paper Sec. II-C2c/d).
+
+The paper extends the total order on octants to a total *quasiorder* over
+"overlap regions": for leaves x, y from two grids, ``x ⌢ y`` (equivalent)
+iff they overlap (one is an ancestor of the other), and ``x ⊑ y`` iff
+``x < y`` in SFC order or ``x ⌢ y``.  Rank functions over ``⊑`` are
+non-decreasing on sorted leaf sets, so binary search finds which remote
+partitions overlap a local interval using only partition endpoints:
+
+    interval G_p^-..G_p^+ intersects H_q^-..H_q^+
+        iff  G_p^- ⊑ H_q^+  and  H_q^- ⊑ G_p^+
+
+All functions take octants as ``(anchor, level)`` pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import morton
+from .tree import Octree
+
+Oct = tuple  # (anchor ndarray, level int)
+
+
+def sq_below(a: Oct, b: Oct, dim: int) -> bool:
+    """``a ⊑ b``: a precedes b in SFC order, or a and b overlap."""
+    ka = morton.keys(np.asarray(a[0])[None], np.asarray([a[1]]), dim)[0]
+    kb = morton.keys(np.asarray(b[0])[None], np.asarray([b[1]]), dim)[0]
+    if ka <= kb:
+        return True
+    return bool(morton.overlaps(np.asarray(a[0]), a[1], np.asarray(b[0]), b[1]))
+
+
+def intervals_intersect(
+    g_lo: Oct, g_hi: Oct, h_lo: Oct, h_hi: Oct, dim: int
+) -> bool:
+    """Do the overlap-region intervals of two partitions intersect?"""
+    return sq_below(g_lo, h_hi, dim) and sq_below(h_lo, g_hi, dim)
+
+
+def overlapping_ranks(
+    my_lo: Optional[Oct],
+    my_hi: Optional[Oct],
+    lows: Sequence[Optional[Oct]],
+    highs: Sequence[Optional[Oct]],
+    dim: int,
+) -> list[int]:
+    """Ranks q of grid H whose interval intersects my interval of grid G.
+
+    ``lows``/``highs`` are the allgathered partition endpoints of H (``None``
+    for empty ranks).  Uses only endpoints, so every process detects the same
+    intersections (the paper's consistency requirement).
+    """
+    if my_lo is None or my_hi is None:
+        return []
+    out = []
+    for q, (lo, hi) in enumerate(zip(lows, highs)):
+        if lo is None or hi is None:
+            continue
+        if intervals_intersect(my_lo, my_hi, lo, hi, dim):
+            out.append(q)
+    return out
+
+
+def overlapping_ranks_bsearch(
+    my_lo: Optional[Oct],
+    my_hi: Optional[Oct],
+    lows: Sequence[Optional[Oct]],
+    highs: Sequence[Optional[Oct]],
+    dim: int,
+) -> list[int]:
+    """Binary-search formulation: ``rank_{H^+ ⊏}(G_p^-) <= q <
+    rank_{H^- ⊑}(G_p^+)`` (paper Sec. II-C2d).  Empty ranks are skipped.
+
+    Equivalent to :func:`overlapping_ranks`; kept separate because the tests
+    verify the equivalence (the proofs in the paper hinge on it).
+    """
+    if my_lo is None or my_hi is None:
+        return []
+    idx = [q for q, (lo, hi) in enumerate(zip(lows, highs)) if lo is not None]
+    if not idx:
+        return []
+    his = [highs[q] for q in idx]
+    los = [lows[q] for q in idx]
+    # first q such that NOT (H_q^+ ⊏ G_p^-)  i.e.  G_p^- ⊑ H_q^+
+    lo_i = _lower_bound(his, lambda h: not sq_below(my_lo, h, dim))
+    # first q such that NOT (H_q^- ⊑ G_p^+)
+    hi_i = _lower_bound(los, lambda l: sq_below(l, my_hi, dim))
+    return [idx[i] for i in range(lo_i, hi_i)]
+
+
+def _lower_bound(items, pred) -> int:
+    """First index where ``pred(items[i])`` is False (pred is monotone
+    True...True False...False)."""
+    lo, hi = 0, len(items)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if pred(items[mid]):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def local_overlap_range(tree: Octree, q_anchor, q_level) -> tuple[int, int]:
+    """Half-open index range of local leaves overlapping the query octant.
+
+    In a linear tree the overlapping leaves are contiguous: the descendants
+    of the query (a key range) plus at most one ancestor (the leaf containing
+    the query's anchor).
+    """
+    if len(tree) == 0:
+        return (0, 0)
+    q_anchor = np.asarray(q_anchor, dtype=np.int64)
+    lo, hi = morton.descendant_key_range(
+        q_anchor[None], np.asarray([q_level]), tree.dim
+    )
+    k = tree.keys()
+    start = int(np.searchsorted(k, lo[0]))
+    end = int(np.searchsorted(k, hi[0]))
+    if start > 0:
+        prev = start - 1
+        if morton.is_ancestor(
+            tree.anchors[prev], tree.levels[prev], q_anchor, q_level
+        ):
+            start = prev
+    return (start, max(end, start))
+
+
+def local_overlap_range_interval(
+    tree: Octree, first: Oct, last: Oct
+) -> tuple[int, int]:
+    """Index range of local leaves overlapping any octant in the remote
+    SFC-interval ``[first, last]`` (used by inter-grid transfer)."""
+    s1, _ = local_overlap_range(tree, first[0], first[1])
+    _, e2 = local_overlap_range(tree, last[0], last[1])
+    # Leaves strictly between the two endpoints in SFC order also overlap the
+    # interval (they lie inside it).
+    return (s1, max(e2, s1))

@@ -1,0 +1,202 @@
+"""Linear octree container.
+
+A :class:`Octree` stores a set of octants as flat NumPy arrays of anchors and
+levels, in pre-order SFC order (see :mod:`repro.octree.morton`).  A *linear*
+octree additionally contains no duplicate and no overlapping (ancestor /
+descendant) pairs, i.e. it is a set of leaves.  Incomplete octrees — leaf sets
+that do not cover the whole root cube, used for carved domains (Sec. II-C1a of
+the paper) — are fully supported; nothing in this module assumes coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import morton
+
+
+class Octree:
+    """An SFC-sorted list of octants (possibly a non-leaf multiset before
+    :func:`linearize`)."""
+
+    __slots__ = ("anchors", "levels", "dim")
+
+    def __init__(self, anchors, levels, dim: int, *, presorted: bool = False):
+        anchors = np.asarray(anchors, dtype=np.int64).reshape(-1, dim)
+        levels = np.asarray(levels, dtype=np.int64).reshape(-1)
+        if anchors.shape[0] != levels.shape[0]:
+            raise ValueError("anchors / levels length mismatch")
+        if not presorted and len(levels) > 1:
+            order = np.argsort(morton.keys(anchors, levels, dim), kind="stable")
+            anchors = anchors[order]
+            levels = levels[order]
+        self.anchors = anchors
+        self.levels = levels
+        self.dim = dim
+
+    # ------------------------------------------------------------------ basic
+
+    @classmethod
+    def root(cls, dim: int) -> "Octree":
+        """The tree containing only the root octant."""
+        return cls(np.zeros((1, dim), dtype=np.int64), np.zeros(1, dtype=np.int64), dim)
+
+    @classmethod
+    def empty(cls, dim: int) -> "Octree":
+        return cls(
+            np.zeros((0, dim), dtype=np.int64), np.zeros(0, dtype=np.int64), dim
+        )
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Octree):
+            return NotImplemented
+        return (
+            self.dim == other.dim
+            and len(self) == len(other)
+            and np.array_equal(self.anchors, other.anchors)
+            and np.array_equal(self.levels, other.levels)
+        )
+
+    def __repr__(self) -> str:
+        return f"Octree(dim={self.dim}, n={len(self)})"
+
+    def keys(self) -> np.ndarray:
+        return morton.keys(self.anchors, self.levels, self.dim)
+
+    def copy(self) -> "Octree":
+        return Octree(self.anchors.copy(), self.levels.copy(), self.dim, presorted=True)
+
+    def is_sorted(self) -> bool:
+        k = self.keys()
+        return bool(np.all(k[:-1] <= k[1:]))
+
+    def is_linear(self) -> bool:
+        """True iff sorted, duplicate-free, and overlap-free (a true leaf set)."""
+        if len(self) < 2:
+            return True
+        k = self.keys()
+        if not np.all(k[:-1] < k[1:]):
+            return False
+        # In pre-order, an ancestor is immediately followed (somewhere) by its
+        # descendants; overlap-freedom of a sorted set reduces to checking
+        # consecutive pairs.
+        anc = morton.is_ancestor(
+            self.anchors[:-1], self.levels[:-1], self.anchors[1:], self.levels[1:]
+        )
+        return not bool(np.any(anc))
+
+    # ----------------------------------------------------------- set algebra
+
+    def linearize(self) -> "Octree":
+        """Remove duplicates and ancestors, keeping the finest octants.
+
+        This matches the standard octree ``linearize`` operation: of any
+        overlapping pair, the coarser octant is dropped.
+        """
+        if len(self) < 2:
+            return self.copy()
+        k = self.keys()
+        order = np.argsort(k, kind="stable")
+        a = self.anchors[order]
+        l = self.levels[order]
+        # Drop exact duplicates first.
+        ks = k[order]
+        keep = np.ones(len(ks), dtype=bool)
+        keep[1:] = ks[1:] != ks[:-1]
+        a, l = a[keep], l[keep]
+        # Iteratively drop octants that are ancestors of their successor.  One
+        # pass can expose new adjacent ancestor pairs (a < b < c with a an
+        # ancestor of c), so repeat until stable; each pass strictly shrinks.
+        while len(l) > 1:
+            anc = morton.is_ancestor(a[:-1], l[:-1], a[1:], l[1:])
+            if not np.any(anc):
+                break
+            keep = np.ones(len(l), dtype=bool)
+            keep[:-1][anc] = False
+            a, l = a[keep], l[keep]
+        return Octree(a, l, self.dim, presorted=True)
+
+    def merged(self, other: "Octree") -> "Octree":
+        if self.dim != other.dim:
+            raise ValueError("dimension mismatch")
+        return Octree(
+            np.concatenate([self.anchors, other.anchors]),
+            np.concatenate([self.levels, other.levels]),
+            self.dim,
+        )
+
+    # ------------------------------------------------------------- geometry
+
+    def sizes(self) -> np.ndarray:
+        """Side length of each octant in grid units."""
+        return morton.cell_size(self.levels)
+
+    def volumes(self) -> np.ndarray:
+        """Volume of each octant in grid units**dim (float to avoid overflow)."""
+        return morton.cell_size(self.levels).astype(np.float64) ** self.dim
+
+    def centers(self) -> np.ndarray:
+        """Centers of octants in grid coordinates (float)."""
+        return self.anchors + 0.5 * self.sizes()[:, None]
+
+    def corners(self) -> np.ndarray:
+        """Corner coordinates, shape ``(n, 2**dim, dim)``, in Morton corner order."""
+        n = len(self)
+        nc = 1 << self.dim
+        offsets = np.zeros((nc, self.dim), dtype=np.int64)
+        for c in range(nc):
+            for axis in range(self.dim):
+                offsets[c, axis] = (c >> axis) & 1
+        return self.anchors[:, None, :] + offsets[None, :, :] * self.sizes()[:, None, None]
+
+    # --------------------------------------------------------------- search
+
+    def locate_points(self, points: np.ndarray) -> np.ndarray:
+        """Index of the leaf containing each grid point, or -1 if uncovered.
+
+        ``points`` are integer grid coordinates; a point belongs to the leaf
+        whose half-open box ``[anchor, anchor + size)`` contains it.  Requires
+        a linear (leaf) tree.
+        """
+        points = np.asarray(points, dtype=np.int64).reshape(-1, self.dim)
+        if len(self) == 0:
+            return np.full(len(points), -1, dtype=np.int64)
+        pk = morton.point_keys(points, self.dim)
+        k = self.keys()
+        # Candidate: the last leaf with key <= point key.  In pre-order the
+        # containing leaf (if any) is exactly this candidate.
+        idx = np.searchsorted(k, pk, side="right") - 1
+        valid = idx >= 0
+        out = np.full(len(points), -1, dtype=np.int64)
+        if np.any(valid):
+            cand = idx[valid]
+            contains = morton.is_ancestor(
+                self.anchors[cand],
+                self.levels[cand],
+                points[valid],
+                np.full(int(valid.sum()), morton.MAX_DEPTH),
+            )
+            res = np.where(contains, cand, -1)
+            out[valid] = res
+        return out
+
+    def find(self, anchors, levels) -> np.ndarray:
+        """Index of each exact octant in the tree, or -1 if absent."""
+        anchors = np.asarray(anchors, dtype=np.int64).reshape(-1, self.dim)
+        levels = np.asarray(levels, dtype=np.int64).reshape(-1)
+        q = morton.keys(anchors, levels, self.dim)
+        k = self.keys()
+        idx = np.searchsorted(k, q)
+        out = np.full(len(q), -1, dtype=np.int64)
+        ok = (idx < len(k))
+        ok[ok] = k[idx[ok]] == q[ok]
+        out[ok] = idx[ok]
+        return out
+
+    def coverage(self) -> float:
+        """Total covered volume as a fraction of the root cube."""
+        total = float((1 << morton.MAX_DEPTH)) ** self.dim
+        return float(self.volumes().sum()) / total

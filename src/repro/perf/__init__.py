@@ -1,0 +1,4 @@
+"""Performance models reproducing the paper's scaling figures."""
+
+from .machine import MachineModel, parallel_efficiency, weak_efficiency  # noqa: F401
+from .model import ApplicationModel, SolverCosts, paper_fig5_solvers  # noqa: F401

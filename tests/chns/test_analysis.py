@@ -1,0 +1,99 @@
+"""Tests for the spray/droplet post-processing analysis."""
+
+import numpy as np
+import pytest
+
+from repro.chns.analysis import (
+    breakup_detected,
+    droplet_statistics,
+    interface_measure,
+    phase_volume,
+)
+from repro.chns.initial_conditions import drop, two_drops
+from repro.mesh.mesh import Mesh
+from repro.octree.build import uniform_tree
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh.from_tree(uniform_tree(2, 6))
+
+
+class TestPhaseVolume:
+    def test_single_drop_area(self, mesh):
+        phi = mesh.interpolate(lambda x: drop(x, (0.5, 0.5), 0.25, 0.02))
+        vol = phase_volume(mesh, phi, immersed_sign=-1.0)
+        assert vol == pytest.approx(np.pi * 0.25**2, rel=0.02)
+
+    def test_pure_phases(self, mesh):
+        assert phase_volume(mesh, np.ones(mesh.n_dofs)) == pytest.approx(0.0, abs=1e-12)
+        assert phase_volume(mesh, -np.ones(mesh.n_dofs)) == pytest.approx(1.0)
+
+    def test_opposite_convention(self, mesh):
+        phi = mesh.interpolate(lambda x: drop(x, (0.5, 0.5), 0.25, 0.02,
+                                              inside=+1.0))
+        vol = phase_volume(mesh, phi, immersed_sign=+1.0)
+        assert vol == pytest.approx(np.pi * 0.25**2, rel=0.02)
+
+
+class TestInterfaceMeasure:
+    def test_circle_perimeter(self, mesh):
+        Cn = 0.02
+        phi = mesh.interpolate(lambda x: drop(x, (0.5, 0.5), 0.25, Cn))
+        L = interface_measure(mesh, phi, Cn)
+        assert L == pytest.approx(2 * np.pi * 0.25, rel=0.15)
+
+    def test_scales_with_radius(self, mesh):
+        Cn = 0.02
+        L1 = interface_measure(
+            mesh, mesh.interpolate(lambda x: drop(x, (0.5, 0.5), 0.3, Cn)), Cn
+        )
+        L2 = interface_measure(
+            mesh, mesh.interpolate(lambda x: drop(x, (0.5, 0.5), 0.15, Cn)), Cn
+        )
+        assert L1 / L2 == pytest.approx(2.0, rel=0.1)
+
+    def test_no_interface_zero(self, mesh):
+        assert interface_measure(mesh, np.ones(mesh.n_dofs), 0.02) < 1e-10
+
+
+class TestDropletStatistics:
+    def test_two_drops_census(self, mesh):
+        phi = mesh.interpolate(
+            lambda x: two_drops(x, (0.3, 0.3), 0.12, (0.72, 0.72), 0.08, 0.015)
+        )
+        st = droplet_statistics(mesh, phi)
+        assert st.count == 2
+        # Volumes ordered by label; compare as a set against pi r^2 (the
+        # element-count census slightly over-counts via the interface band).
+        areas = sorted(st.volumes)
+        assert areas[1] == pytest.approx(np.pi * 0.12**2, rel=0.45)
+        assert areas[0] == pytest.approx(np.pi * 0.08**2, rel=0.6)
+        # Centroids land on the drop centers.
+        cents = st.centroids[np.argsort(st.volumes)]
+        assert np.allclose(cents[1], [0.3, 0.3], atol=0.02)
+        assert np.allclose(cents[0], [0.72, 0.72], atol=0.02)
+        # D32 lies between the two equivalent diameters.
+        d = np.sort(st.equivalent_diameters)
+        assert d[0] < st.sauter_mean_diameter < d[1] * 1.05
+        assert 0.5 < st.largest_fraction < 1.0
+
+    def test_empty(self, mesh):
+        st = droplet_statistics(mesh, np.ones(mesh.n_dofs))
+        assert st.count == 0
+        assert st.sauter_mean_diameter == 0.0
+
+    def test_breakup_detection(self, mesh):
+        one = droplet_statistics(
+            mesh, mesh.interpolate(lambda x: drop(x, (0.5, 0.5), 0.2, 0.02))
+        )
+        two = droplet_statistics(
+            mesh,
+            mesh.interpolate(
+                lambda x: two_drops(x, (0.3, 0.5), 0.12, (0.7, 0.5), 0.12, 0.02)
+            ),
+        )
+        assert breakup_detected(one, two)
+        assert not breakup_detected(two, one)
+        # A volume floor suppresses spurious tiny fragments.
+        assert not breakup_detected(one, two, min_volume=1.0)

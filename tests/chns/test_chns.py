@@ -1,0 +1,312 @@
+"""Tests for the CHNS solver blocks and the two-block time stepper."""
+
+import numpy as np
+import pytest
+
+from repro.chns import forms
+from repro.chns.ch_solver import CHSolver
+from repro.chns.free_energy import (
+    ginzburg_landau_energy,
+    mobility,
+    psi,
+    psi_double_prime,
+    psi_prime,
+    total_mass,
+)
+from repro.chns.initial_conditions import (
+    drop,
+    filament,
+    jet_column,
+    rising_bubble,
+    tanh_profile,
+    two_drops,
+)
+from repro.chns.ns_solver import NSSolver
+from repro.chns.params import CHNSParams
+from repro.chns.pp_solver import PPSolver
+from repro.chns.timestepper import (
+    CHNSTimeStepper,
+    lid_driven_bc,
+    no_slip_bc,
+)
+from repro.chns.vu_solver import VUSolver
+from repro.mesh.mesh import Mesh
+from repro.octree.build import uniform_tree
+
+
+@pytest.fixture(scope="module")
+def mesh16():
+    return Mesh.from_tree(uniform_tree(2, 4))
+
+
+@pytest.fixture(scope="module")
+def mesh8():
+    return Mesh.from_tree(uniform_tree(2, 3))
+
+
+class TestParams:
+    def test_mixture_limits(self):
+        p = CHNSParams(rho_plus=1.0, rho_minus=0.2, eta_plus=1.0, eta_minus=0.5)
+        assert np.isclose(p.rho(1.0), 1.0)
+        assert np.isclose(p.rho(-1.0), 0.2)
+        assert np.isclose(p.eta(1.0), 1.0)
+        assert np.isclose(p.eta(-1.0), 0.5)
+
+    def test_clamping_protects_overshoot(self):
+        p = CHNSParams(rho_minus=0.1)
+        assert p.rho_clamped(np.array([-1.5]))[0] > 0
+        assert p.rho_clamped(np.array([-1.5]))[0] == p.rho_clamped(np.array([-1.0]))[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CHNSParams(Re=-1)
+        with pytest.raises(ValueError):
+            CHNSParams(Cn=0)
+
+    def test_gravity_off_by_default(self):
+        assert CHNSParams().gravity_coeff() == 0.0
+        assert CHNSParams(Fr=2.0).gravity_coeff() == 0.5
+
+
+class TestFreeEnergy:
+    def test_psi_minima(self):
+        assert psi(1.0) == 0.0
+        assert psi(-1.0) == 0.0
+        assert psi(0.0) == 0.25
+        assert np.allclose(psi_prime(np.array([-1.0, 0.0, 1.0])), [0, 0, 0])
+
+    def test_psi_derivative_consistency(self):
+        x = np.linspace(-1.2, 1.2, 41)
+        eps = 1e-6
+        num = (psi(x + eps) - psi(x - eps)) / (2 * eps)
+        assert np.allclose(num, psi_prime(x), atol=1e-8)
+        num2 = (psi_prime(x + eps) - psi_prime(x - eps)) / (2 * eps)
+        assert np.allclose(num2, psi_double_prime(x), atol=1e-6)
+
+    def test_mobility_degenerate(self):
+        assert mobility(0.0) == 1.0
+        assert mobility(1.0) < 1e-3
+        assert np.isfinite(mobility(1.5))  # clamped, not NaN
+
+    def test_energy_of_uniform_phase_is_zero(self, mesh8):
+        phi = np.ones(mesh8.n_dofs)
+        assert ginzburg_landau_energy(mesh8, phi, 0.05) < 1e-14
+
+    def test_total_mass_of_constant(self, mesh8):
+        phi = np.full(mesh8.n_dofs, 0.3)
+        assert np.isclose(total_mass(mesh8, phi), 0.3)
+
+
+class TestInitialConditions:
+    def test_drop_signs(self):
+        x = np.array([[0.5, 0.5], [0.0, 0.0]])
+        phi = drop(x, (0.5, 0.5), 0.2, 0.02)
+        assert phi[0] < -0.9  # inside
+        assert phi[1] > 0.9  # outside
+
+    def test_two_drops_union(self):
+        x = np.array([[0.3, 0.5], [0.7, 0.5], [0.5, 0.1]])
+        phi = two_drops(x, (0.3, 0.5), 0.1, (0.7, 0.5), 0.1, 0.02)
+        assert phi[0] < -0.9 and phi[1] < -0.9 and phi[2] > 0.9
+
+    def test_filament_geometry(self):
+        x = np.array([[0.5, 0.5], [0.5, 0.8], [0.05, 0.5]])
+        phi = filament(x, 0.5, 0.05, 0.2, 0.8, 0.02)
+        assert phi[0] < -0.9
+        assert phi[1] > 0.9
+        assert phi[2] > 0.9  # outside the span
+
+    def test_jet_column(self):
+        x = np.array([[0.1, 0.5], [0.1, 0.9], [0.9, 0.5]])
+        phi = jet_column(x, half_width=0.08, length=0.45, Cn=0.02)
+        assert phi[0] < -0.9  # inside jet near inlet
+        assert phi[1] > 0.9  # above jet
+        assert phi[2] > 0.9  # past the tip
+
+    def test_tanh_profile_inside_sign(self):
+        assert tanh_profile(np.array([-1.0]), 0.02, inside=-1.0)[0] < -0.99
+        assert tanh_profile(np.array([-1.0]), 0.02, inside=+1.0)[0] > 0.99
+
+
+class TestCHSolver:
+    def test_mass_conserved_no_flow(self, mesh16):
+        prm = CHNSParams(Pe=50.0, Cn=0.06)
+        ch = CHSolver(mesh16, prm)
+        phi = mesh16.interpolate(lambda x: drop(x, (0.5, 0.5), 0.25, prm.Cn))
+        mu = ch.initial_mu(phi)
+        m0 = total_mass(mesh16, phi)
+        for _ in range(3):
+            res = ch.solve(phi, mu, None, dt=5e-4)
+            assert res.newton.converged
+            phi, mu = res.phi, res.mu
+        assert np.isclose(total_mass(mesh16, phi), m0, atol=1e-8)
+
+    def test_energy_decays_no_flow(self, mesh16):
+        prm = CHNSParams(Pe=50.0, Cn=0.06)
+        ch = CHSolver(mesh16, prm)
+        phi = mesh16.interpolate(lambda x: drop(x, (0.5, 0.5), 0.25, 0.03))
+        mu = ch.initial_mu(phi)
+        e_prev = ginzburg_landau_energy(mesh16, phi, prm.Cn)
+        for _ in range(3):
+            res = ch.solve(phi, mu, None, dt=5e-4)
+            phi, mu = res.phi, res.mu
+            e = ginzburg_landau_energy(mesh16, phi, prm.Cn)
+            assert e <= e_prev + 1e-10
+            e_prev = e
+
+    def test_bounds_approximately_respected(self, mesh16):
+        prm = CHNSParams(Pe=50.0, Cn=0.06)
+        ch = CHSolver(mesh16, prm)
+        phi = mesh16.interpolate(lambda x: drop(x, (0.5, 0.5), 0.25, prm.Cn))
+        mu = ch.initial_mu(phi)
+        for _ in range(3):
+            res = ch.solve(phi, mu, None, dt=5e-4)
+            phi, mu = res.phi, res.mu
+        assert phi.min() > -1.1 and phi.max() < 1.1
+
+    def test_equilibrium_is_stationary(self, mesh16):
+        """A flat mixture at a well bottom stays put."""
+        prm = CHNSParams(Pe=50.0, Cn=0.05)
+        ch = CHSolver(mesh16, prm)
+        phi = np.ones(mesh16.n_dofs)
+        mu = ch.initial_mu(phi)
+        res = ch.solve(phi, mu, None, dt=1e-3)
+        assert np.allclose(res.phi, 1.0, atol=1e-8)
+
+    def test_advection_moves_interface(self, mesh16):
+        prm = CHNSParams(Pe=200.0, Cn=0.06)
+        ch = CHSolver(mesh16, prm)
+        phi = mesh16.interpolate(lambda x: drop(x, (0.4, 0.5), 0.2, prm.Cn))
+        mu = ch.initial_mu(phi)
+        vel = np.zeros((mesh16.n_dofs, 2))
+        vel[:, 0] = 1.0  # uniform rightward flow
+        com0 = _phase_com(mesh16, phi)
+        for _ in range(4):
+            res = ch.solve(phi, mu, vel, dt=2e-3)
+            phi, mu = res.phi, res.mu
+        com1 = _phase_com(mesh16, phi)
+        assert com1[0] > com0[0] + 1e-3  # drop moved right
+        assert abs(com1[1] - com0[1]) < 1e-3
+
+
+def _phase_com(mesh, phi):
+    """Center of mass of the (phi < 0) phase."""
+    w = np.maximum(-phi, 0.0)
+    xy = mesh.dof_xy()
+    return (xy * w[:, None]).sum(axis=0) / w.sum()
+
+
+class TestNSPPVU:
+    def test_projection_reduces_divergence(self, mesh16):
+        """PP+VU projects a non-solenoidal field toward divergence-free."""
+        prm = CHNSParams(We=1.0)
+        pp = PPSolver(mesh16, prm)
+        vu = VUSolver(mesh16, prm)
+        phi = np.ones(mesh16.n_dofs)
+        xy = mesh16.dof_xy()
+        vel = np.stack([xy[:, 0] ** 2, xy[:, 1]], axis=1)  # div = 2x + 1
+        d0 = forms.divergence_l2(mesh16, vel)
+        dt = 0.1
+        p = pp.solve(phi, vel, dt).p
+        out = vu.solve(phi, vel, p, dt)
+        d1 = forms.divergence_l2(mesh16, out.vel)
+        assert d1 < 0.5 * d0
+
+    def test_vu_mass_matrix_reused(self, mesh16):
+        prm = CHNSParams()
+        vu = VUSolver(mesh16, prm)
+        M1 = vu.M
+        phi = np.ones(mesh16.n_dofs)
+        vel = np.zeros((mesh16.n_dofs, 2))
+        p = np.zeros(mesh16.n_dofs)
+        vu.solve(phi, vel, p, 0.1)
+        assert vu.M is M1  # assembled once, never rebuilt
+
+    def test_ns_rest_stays_at_rest(self, mesh16):
+        prm = CHNSParams()
+        ns = NSSolver(mesh16, prm)
+        phi = np.ones(mesh16.n_dofs)
+        ch = CHSolver(mesh16, prm)
+        mu = ch.initial_mu(phi)
+        vel = np.zeros((mesh16.n_dofs, 2))
+        p = np.zeros(mesh16.n_dofs)
+        masks, values = no_slip_bc(mesh16)
+        res = ns.solve(phi, mu, vel, vel, p, 0.01, dirichlet_masks=masks,
+                       dirichlet_values=values)
+        assert np.max(np.abs(res.vel_star)) < 1e-8
+
+    def test_gravity_accelerates_flow(self, mesh16):
+        prm = CHNSParams(Fr=0.5, rho_minus=0.99, eta_minus=1.0)
+        ns = NSSolver(mesh16, prm)
+        ch = CHSolver(mesh16, prm)
+        phi = np.ones(mesh16.n_dofs)
+        mu = ch.initial_mu(phi)
+        vel = np.zeros((mesh16.n_dofs, 2))
+        p = np.zeros(mesh16.n_dofs)
+        res = ns.solve(phi, mu, vel, vel, p, 0.01)
+        # Gravity points -y: interior velocity becomes negative in y.
+        interior = ~mesh16.boundary_dof_mask()
+        assert res.vel_star[interior, 1].mean() < -1e-6
+
+    def test_pressure_mean_zero(self, mesh16):
+        prm = CHNSParams()
+        pp = PPSolver(mesh16, prm)
+        phi = np.ones(mesh16.n_dofs)
+        xy = mesh16.dof_xy()
+        vel = np.stack([np.sin(xy[:, 0]), np.zeros(mesh16.n_dofs)], axis=1)
+        res = pp.solve(phi, vel, 0.1)
+        assert abs(res.p.mean()) < 1e-12
+
+
+class TestTimeStepper:
+    def test_quiescent_drop_short_run(self, mesh8):
+        """A drop at rest: mass conserved, phi bounded, no velocity blowup."""
+        prm = CHNSParams(Re=10.0, We=1.0, Pe=50.0, Cn=0.1, rho_minus=0.5,
+                         eta_minus=0.5)
+        ts = CHNSTimeStepper(mesh8, prm, velocity_bc=no_slip_bc)
+        ts.initialize(lambda x: drop(x, (0.5, 0.5), 0.25, prm.Cn))
+        m0 = ts.diagnostics().mass
+        for _ in range(3):
+            ts.step(1e-3)
+        d = ts.diagnostics()
+        assert np.isclose(d.mass, m0, atol=1e-6)
+        assert d.phi_min > -1.2 and d.phi_max < 1.2
+        assert np.max(np.abs(ts.vel)) < 1.0
+
+    def test_lid_driven_single_phase(self, mesh8):
+        """Single-phase cavity: lid drives a vortex; divergence stays small."""
+        prm = CHNSParams(Re=50.0, rho_minus=1.0, eta_minus=1.0, Pe=1e4, Cn=0.1)
+
+        def regularized_lid(m):
+            # Polynomial lid profile vanishing at the corners avoids the
+            # classic corner-singularity divergence spike.
+            masks, values = lid_driven_bc(m, 1.0)
+            top = m.face_dof_mask(1, 1)
+            x = m.dof_xy()[:, 0]
+            values[0][top] = 16.0 * (x[top] * (1 - x[top])) ** 2
+            return masks, values
+
+        ts = CHNSTimeStepper(mesh8, prm, velocity_bc=regularized_lid)
+        ts.initialize(lambda x: np.ones(len(x)))
+        for _ in range(5):
+            ts.step(2e-3)
+        d = ts.diagnostics()
+        interior = ~mesh8.boundary_dof_mask()
+        # Momentum diffused into the cavity.
+        assert np.max(np.abs(ts.vel[interior, 0])) > 1e-3
+        assert d.div_l2 < 1.0
+
+    def test_timers_populated(self, mesh8):
+        prm = CHNSParams(Pe=50.0, Cn=0.1, rho_minus=0.5, eta_minus=0.5)
+        ts = CHNSTimeStepper(mesh8, prm, velocity_bc=no_slip_bc)
+        ts.initialize(lambda x: drop(x, (0.5, 0.5), 0.25, prm.Cn))
+        t = ts.step(1e-3)
+        assert t.ch > 0 and t.ns > 0 and t.pp > 0 and t.vu > 0
+        assert ts.timers.total() >= t.total()
+
+    def test_two_blocks_per_step(self, mesh8):
+        prm = CHNSParams(Pe=50.0, Cn=0.1, rho_minus=0.5, eta_minus=0.5)
+        ts = CHNSTimeStepper(mesh8, prm, n_blocks=2, velocity_bc=no_slip_bc)
+        ts.initialize(lambda x: drop(x, (0.5, 0.5), 0.25, prm.Cn))
+        ts.step(1e-3)
+        assert ts.step_count == 1

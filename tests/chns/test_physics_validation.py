@@ -1,0 +1,134 @@
+"""Physics validation: Laplace pressure jump, temporal self-convergence,
+and long(er)-horizon invariants of the CHNS solver."""
+
+import numpy as np
+import pytest
+
+from repro.chns import forms
+from repro.chns.ch_solver import CHSolver
+from repro.chns.free_energy import ginzburg_landau_energy, total_mass
+from repro.chns.initial_conditions import drop
+from repro.chns.params import CHNSParams
+from repro.chns.timestepper import CHNSTimeStepper, no_slip_bc
+from repro.mesh.mesh import Mesh
+from repro.octree.build import uniform_tree
+
+
+@pytest.fixture(scope="module")
+def mesh32():
+    return Mesh.from_tree(uniform_tree(2, 5))
+
+
+class TestLaplacePressureJump:
+    def test_static_drop_pressure_jump_scales_with_curvature(self, mesh32):
+        """Young-Laplace: a static drop carries an inside-outside pressure
+        difference ~ sigma/R (2D: sigma * kappa = sigma / R).  In the
+        non-dimensional CHNS form the jump scales with 1/(We R); we verify
+        the measured jump is positive inside and roughly doubles when the
+        radius halves."""
+        jumps = {}
+        for radius in (0.3, 0.15):
+            prm = CHNSParams(
+                Re=1.0, We=1.0, Pe=100.0, Cn=0.04,
+                rho_minus=1.0, eta_minus=1.0,  # matched phases: no buoyancy
+            )
+            ts = CHNSTimeStepper(mesh32, prm, velocity_bc=no_slip_bc)
+            ts.initialize(lambda x, r=radius: drop(x, (0.5, 0.5), r, prm.Cn))
+            for _ in range(4):
+                ts.step(2e-4)
+            xy = ts.mesh.dof_xy()
+            r_dof = np.linalg.norm(xy - 0.5, axis=1)
+            inside = r_dof < radius - 3 * prm.Cn
+            outside = r_dof > radius + 3 * prm.Cn
+            jumps[radius] = float(
+                ts.p[inside].mean() - ts.p[outside].mean()
+            )
+        assert jumps[0.3] > 0  # higher pressure inside the drop
+        assert jumps[0.15] > 0
+        # Young-Laplace monotonicity: smaller radius -> larger jump (the
+        # exact factor-2 ratio needs full pressure equilibration; after a
+        # short transient we assert the robust qualitative ordering).
+        assert jumps[0.15] > 1.3 * jumps[0.3]
+
+    def test_spurious_currents_bounded(self, mesh32):
+        """Static-drop parasitic velocities stay small relative to the
+        capillary scale sigma/mu (a standard surface-tension sanity check)."""
+        prm = CHNSParams(Re=1.0, We=1.0, Pe=100.0, Cn=0.05,
+                         rho_minus=1.0, eta_minus=1.0)
+        ts = CHNSTimeStepper(mesh32, prm, velocity_bc=no_slip_bc)
+        ts.initialize(lambda x: drop(x, (0.5, 0.5), 0.25, prm.Cn))
+        for _ in range(5):
+            ts.step(2e-4)
+        u_cap = 1.0 / prm.We * prm.Re  # sigma / mu in our scaling
+        assert np.abs(ts.vel).max() < 0.05 * u_cap
+
+
+class TestTemporalConvergence:
+    def test_ch_self_convergence_in_dt(self):
+        """Halving dt must shrink the difference to a reference solution —
+        the implicit CH block converges in time (order >= 1)."""
+        mesh = Mesh.from_tree(uniform_tree(2, 4))
+        prm = CHNSParams(Pe=30.0, Cn=0.08)
+        T = 4e-3
+
+        def run(nsteps):
+            ch = CHSolver(mesh, prm)
+            phi = mesh.interpolate(lambda x: drop(x, (0.5, 0.5), 0.25, 0.05))
+            mu = ch.initial_mu(phi)
+            dt = T / nsteps
+            for _ in range(nsteps):
+                res = ch.solve(phi, mu, None, dt, tol=1e-11)
+                phi, mu = res.phi, res.mu
+            return phi
+
+        ref = run(16)
+        e2 = float(np.linalg.norm(run(2) - ref))
+        e4 = float(np.linalg.norm(run(4) - ref))
+        e8 = float(np.linalg.norm(run(8) - ref))
+        assert e4 < e2
+        assert e8 < e4
+        # At least first-order observed rates.
+        assert e2 / e4 > 1.6
+
+
+class TestLongerHorizon:
+    def test_ten_step_invariants(self):
+        """Ten CHNS steps of a buoyant bubble: conservation, boundedness,
+        energy sanity, and no divergence growth."""
+        mesh = Mesh.from_tree(uniform_tree(2, 4))
+        prm = CHNSParams(Re=40.0, We=2.0, Pe=100.0, Cn=0.08, Fr=1.0,
+                         rho_minus=0.4, eta_minus=0.5)
+        ts = CHNSTimeStepper(mesh, prm, velocity_bc=no_slip_bc)
+        ts.initialize(lambda x: drop(x, (0.5, 0.35), 0.18, prm.Cn))
+        m0 = ts.diagnostics().mass
+        divs = []
+        for _ in range(10):
+            ts.step(1e-3)
+            d = ts.diagnostics()
+            assert abs(d.mass - m0) < 1e-5
+            assert -1.3 < d.phi_min and d.phi_max < 1.3
+            divs.append(d.div_l2)
+        assert np.all(np.isfinite(ts.vel))
+        assert max(divs[-3:]) < 10 * (min(divs[:3]) + 1e-3)  # no blow-up
+
+    def test_drop_relaxes_toward_circle(self):
+        """A square blob under CH dynamics rounds off: the interface
+        perimeter (Ginzburg-Landau energy) decreases monotonically."""
+        mesh = Mesh.from_tree(uniform_tree(2, 5))
+        prm = CHNSParams(Pe=20.0, Cn=0.05)
+        ch = CHSolver(mesh, prm)
+
+        def square(x):
+            d = np.maximum(np.abs(x[:, 0] - 0.5), np.abs(x[:, 1] - 0.5)) - 0.2
+            return np.tanh(d / (np.sqrt(2) * prm.Cn))
+
+        phi = mesh.interpolate(square)
+        mu = ch.initial_mu(phi)
+        energies = [ginzburg_landau_energy(mesh, phi, prm.Cn)]
+        for _ in range(6):
+            res = ch.solve(phi, mu, None, 5e-4)
+            phi, mu = res.phi, res.mu
+            energies.append(ginzburg_landau_energy(mesh, phi, prm.Cn))
+        diffs = np.diff(energies)
+        assert np.all(diffs <= 1e-10)
+        assert energies[-1] < 0.95 * energies[0]  # visible rounding

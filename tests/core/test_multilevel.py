@@ -1,0 +1,124 @@
+"""Tests for the multi-level local Cahn extension (granulometry stages)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multilevel import CahnStage, identify_multilevel_cahn
+from repro.mesh.mesh import Mesh, mesh_from_field
+from repro.octree.build import uniform_tree
+
+
+def drop_phi(x, center, radius, eps=0.008):
+    d = np.linalg.norm(x - np.asarray(center), axis=-1) - radius
+    return np.tanh(d / (np.sqrt(2) * eps))
+
+
+def three_scale_phi(x):
+    """Tiny, medium, and large drops — three morphological scales."""
+    tiny = drop_phi(x, (0.15, 0.15), 0.05)
+    medium = drop_phi(x, (0.5, 0.2), 0.09)
+    large = drop_phi(x, (0.65, 0.7), 0.24)
+    return np.minimum(np.minimum(tiny, medium), large)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh.from_tree(uniform_tree(2, 6))
+
+
+class TestValidation:
+    def test_requires_stage(self, mesh):
+        with pytest.raises(ValueError):
+            identify_multilevel_cahn(mesh, np.ones(mesh.n_dofs), [])
+
+    def test_requires_monotone_stages(self, mesh):
+        phi = np.ones(mesh.n_dofs)
+        bad_order = [CahnStage(cn=0.5, n_erode=5), CahnStage(cn=0.25, n_erode=9)]
+        with pytest.raises(ValueError):
+            identify_multilevel_cahn(mesh, phi, bad_order)
+
+    def test_requires_cn_below_ambient(self, mesh):
+        phi = np.ones(mesh.n_dofs)
+        with pytest.raises(ValueError):
+            identify_multilevel_cahn(
+                mesh, phi, [CahnStage(cn=1.5, n_erode=2)], cn_ambient=1.0
+            )
+
+
+class TestGranulometry:
+    def test_three_scales_get_three_cahns(self, mesh):
+        phi = mesh.interpolate(three_scale_phi)
+        stages = [
+            CahnStage(cn=0.25, n_erode=3, n_extra_dilate=3),
+            CahnStage(cn=0.5, n_erode=8, n_extra_dilate=3),
+        ]
+        res = identify_multilevel_cahn(
+            mesh, phi, stages, cn_ambient=1.0, delta=-0.8
+        )
+        values = set(np.unique(res.elem_cn))
+        assert values == {0.25, 0.5, 1.0}
+        centers = mesh.elem_centers()
+        d_tiny = np.linalg.norm(centers - np.array([0.15, 0.15]), axis=1)
+        d_med = np.linalg.norm(centers - np.array([0.5, 0.2]), axis=1)
+        d_large = np.linalg.norm(centers - np.array([0.65, 0.7]), axis=1)
+        # Finest Cn hugs the tiny drop.
+        fine = res.elem_cn == 0.25
+        assert fine.sum() > 0
+        assert np.all(d_tiny[fine] < 0.15)
+        # Middle Cn hugs the medium drop (not the large one's interior).
+        mid = res.elem_cn == 0.5
+        assert mid.sum() > 0
+        assert np.all(d_med[mid] < 0.2)
+        # The large drop keeps ambient Cn in its interior.
+        large_core = d_large < 0.1
+        assert np.all(res.elem_cn[large_core] == 1.0)
+
+    def test_shallowest_stage_wins(self, mesh):
+        """An element detected by stage 1 is not re-assigned by stage 2."""
+        phi = mesh.interpolate(three_scale_phi)
+        stages = [
+            CahnStage(cn=0.25, n_erode=3),
+            CahnStage(cn=0.5, n_erode=8),
+        ]
+        res = identify_multilevel_cahn(mesh, phi, stages, delta=-0.8)
+        overlap = res.stage_masks[0] & res.stage_masks[1]
+        assert not np.any(overlap)
+
+    def test_single_stage_reduces_to_base_identifier(self, mesh):
+        from repro.core.identifier import IdentifierConfig, identify_local_cahn
+
+        phi = mesh.interpolate(lambda x: drop_phi(x, (0.3, 0.3), 0.05))
+        res_ml = identify_multilevel_cahn(
+            mesh,
+            phi,
+            [CahnStage(cn=0.5, n_erode=4, n_extra_dilate=3,
+                       cleanup_erode=1, cleanup_dilate=3)],
+            delta=-0.8,
+        )
+        res_base = identify_local_cahn(
+            mesh,
+            phi,
+            IdentifierConfig(delta=-0.8, n_erode=4, n_extra_dilate=3,
+                             cn_fine=0.5, cn_coarse=1.0,
+                             cleanup_erode=1, cleanup_dilate=3),
+        )
+        assert np.array_equal(res_ml.elem_cn, res_base.elem_cn)
+
+    def test_pure_phase_all_ambient(self, mesh):
+        phi = np.ones(mesh.n_dofs)
+        res = identify_multilevel_cahn(
+            mesh, phi, [CahnStage(cn=0.5, n_erode=2)], delta=-0.8
+        )
+        assert np.all(res.elem_cn == 1.0)
+
+    def test_adaptive_mesh(self):
+        m = mesh_from_field(three_scale_phi, 2, max_level=7, min_level=4,
+                            threshold=0.9)
+        phi = m.interpolate(three_scale_phi)
+        res = identify_multilevel_cahn(
+            m,
+            phi,
+            [CahnStage(cn=0.25, n_erode=4), CahnStage(cn=0.5, n_erode=10)],
+            delta=-0.8,
+        )
+        assert (res.elem_cn == 0.25).sum() > 0

@@ -1,0 +1,105 @@
+"""Tests for geometric multigrid (the paper's future-work PP solver)."""
+
+import numpy as np
+import pytest
+
+from repro.fem.assembly import apply_dirichlet, assemble_matrix, assemble_vector
+from repro.fem.basis import quad_point_coords
+from repro.fem.operators import load_vector, stiffness_matrix
+from repro.la.gmg import GeometricMultigrid, prolongation
+from repro.la.krylov import cg
+from repro.la.precond import JacobiPreconditioner
+from repro.mesh.mesh import Mesh
+from repro.octree import morton
+from repro.octree.build import uniform_tree
+
+
+def poisson_system(level, coeff=None):
+    m = Mesh.from_tree(uniform_tree(2, level))
+    h = m.elem_h()
+    scale = float(1 << morton.MAX_DEPTH)
+    if coeff is None:
+        c = 1.0
+    else:
+        qp = quad_point_coords(m.tree.anchors / scale, h, 2)
+        c = coeff(qp.reshape(-1, 2)).reshape(qp.shape[:2])
+    A = assemble_matrix(m, stiffness_matrix(h, 2, c))
+    b = assemble_vector(m, load_vector(h, 2, 1.0))
+    mask = m.boundary_dof_mask()
+    A_bc, b_bc = apply_dirichlet(A, b, mask, np.zeros(m.n_dofs))
+    return m, A_bc, b_bc
+
+
+class TestProlongation:
+    def test_rows_sum_to_one(self):
+        c = Mesh.from_tree(uniform_tree(2, 3))
+        f = Mesh.from_tree(uniform_tree(2, 4))
+        P = prolongation(c, f)
+        assert P.shape == (f.n_dofs, c.n_dofs)
+        assert np.allclose(np.asarray(P.sum(axis=1)).ravel(), 1.0)
+
+    def test_exact_on_linears(self):
+        c = Mesh.from_tree(uniform_tree(2, 3))
+        f = Mesh.from_tree(uniform_tree(2, 5))  # two-level jump
+        P = prolongation(c, f)
+        u = c.interpolate(lambda x: 3 * x[:, 0] - x[:, 1])
+        uf = f.interpolate(lambda x: 3 * x[:, 0] - x[:, 1])
+        assert np.allclose(P @ u, uf, atol=1e-12)
+
+
+class TestVcycle:
+    def test_standalone_solver_converges(self):
+        m, A, b = poisson_system(5)
+        gmg = GeometricMultigrid(m, A, coarsest_level=2)
+        x, iters, res = gmg.solve(b, tol=1e-10)
+        assert res < 1e-10
+        assert iters < 25
+        assert np.allclose(A @ x, b, atol=1e-8)
+
+    def test_mesh_independent_iterations(self):
+        """The GMG hallmark: iteration count does not grow with refinement."""
+        counts = []
+        for level in (4, 5, 6):
+            m, A, b = poisson_system(level)
+            gmg = GeometricMultigrid(m, A, coarsest_level=2)
+            _, iters, _ = gmg.solve(b, tol=1e-9)
+            counts.append(iters)
+        assert max(counts) - min(counts) <= 3
+
+    def test_beats_jacobi_cg_on_variable_coefficients(self):
+        """The paper's motivation: variable-density pressure Poisson."""
+
+        def rho_jump(x):
+            inside = np.linalg.norm(x - 0.5, axis=-1) < 0.25
+            return np.where(inside, 100.0, 1.0)  # 100:1 density contrast
+
+        m, A, b = poisson_system(5, coeff=lambda x: 1.0 / rho_jump(x))
+        plain = cg(A, b, M=JacobiPreconditioner(A), tol=1e-9, maxiter=4000)
+        gmg = GeometricMultigrid(m, A, coarsest_level=2)
+        pre = cg(A, b, M=gmg, tol=1e-9, maxiter=400)
+        assert plain.converged and pre.converged
+        assert pre.iterations < plain.iterations / 3
+        assert np.allclose(pre.x, plain.x, atol=1e-5)
+
+    def test_requires_uniform_mesh(self):
+        from repro.octree.refine import refine
+
+        t = uniform_tree(2, 3)
+        targets = t.levels.copy()
+        targets[0] = 4
+        m = Mesh.from_tree(refine(t, targets))
+        A = assemble_matrix(m, stiffness_matrix(m.elem_h(), 2))
+        with pytest.raises(ValueError):
+            GeometricMultigrid(m, A, coarsest_level=2)
+
+    def test_requires_strictly_coarser_base(self):
+        m, A, _ = poisson_system(3)
+        with pytest.raises(ValueError):
+            GeometricMultigrid(m, A, coarsest_level=3)
+
+    def test_as_preconditioner_spd_behavior(self):
+        m, A, b = poisson_system(4)
+        gmg = GeometricMultigrid(m, A, coarsest_level=2)
+        res = cg(A, b, M=gmg, tol=1e-10, maxiter=100)
+        assert res.converged
+        assert res.iterations <= 15

@@ -1,0 +1,222 @@
+"""Tests for Krylov solvers, preconditioners, Newton, and block storage."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.la.bsr import (
+    ADD_VALUES,
+    INSERT_VALUES,
+    BlockMatrixBuilder,
+    deinterleave_fields,
+    interleave_fields,
+)
+from repro.la.krylov import bicgstab, cg, gmres
+from repro.la.newton import newton_solve
+from repro.la.precond import (
+    BlockJacobiPreconditioner,
+    JacobiPreconditioner,
+    SSORPreconditioner,
+)
+
+
+def spd_system(n=80, seed=0):
+    rng = np.random.default_rng(seed)
+    B = sp.random(n, n, density=0.1, random_state=rng.integers(2**31))
+    A = (B @ B.T + sp.eye(n) * n * 0.1).tocsr()
+    x = rng.standard_normal(n)
+    return A, A @ x, x
+
+
+def nonsym_system(n=80, seed=1):
+    rng = np.random.default_rng(seed)
+    A = (
+        sp.random(n, n, density=0.1, random_state=rng.integers(2**31))
+        + sp.eye(n) * 4.0
+    ).tocsr()
+    x = rng.standard_normal(n)
+    return A, A @ x, x
+
+
+class TestCG:
+    def test_solves_spd(self):
+        A, b, x = spd_system()
+        res = cg(A, b, tol=1e-12, maxiter=500)
+        assert res.converged
+        assert np.allclose(res.x, x, atol=1e-6)
+
+    def test_jacobi_accelerates(self):
+        A, b, x = spd_system(seed=3)
+        plain = cg(A, b, tol=1e-10, maxiter=1000)
+        pre = cg(A, b, M=JacobiPreconditioner(A), tol=1e-10, maxiter=1000)
+        assert pre.converged
+        assert pre.iterations <= plain.iterations + 5
+
+    def test_zero_rhs(self):
+        A, _, _ = spd_system()
+        res = cg(A, np.zeros(A.shape[0]))
+        assert res.converged
+        assert np.allclose(res.x, 0.0)
+
+    def test_initial_guess(self):
+        A, b, x = spd_system()
+        res = cg(A, b, x0=x.copy(), tol=1e-12)
+        assert res.converged
+        assert res.iterations <= 1
+
+    def test_callable_operator(self):
+        A, b, x = spd_system()
+        res = cg(lambda v: A @ v, b, tol=1e-12, maxiter=500)
+        assert res.converged
+
+    def test_nonconvergence_reported(self):
+        A, b, _ = spd_system()
+        res = cg(A, b, tol=1e-14, maxiter=2)
+        assert not res.converged
+        assert res.iterations == 2
+
+
+class TestBiCGStab:
+    def test_solves_nonsymmetric(self):
+        A, b, x = nonsym_system()
+        res = bicgstab(A, b, tol=1e-12, maxiter=2000)
+        assert res.converged
+        assert np.allclose(res.x, x, atol=1e-6)
+
+    def test_preconditioned(self):
+        A, b, x = nonsym_system(seed=5)
+        res = bicgstab(A, b, M=JacobiPreconditioner(A), tol=1e-12)
+        assert res.converged
+        assert np.allclose(res.x, x, atol=1e-6)
+
+
+class TestGMRES:
+    def test_solves_nonsymmetric(self):
+        A, b, x = nonsym_system(seed=2)
+        res = gmres(A, b, tol=1e-12, restart=40, maxiter=4000)
+        assert res.converged
+        assert np.allclose(res.x, x, atol=1e-5)
+
+    def test_restart_smaller_than_n(self):
+        A, b, x = nonsym_system(seed=7)
+        res = gmres(A, b, tol=1e-10, restart=10, maxiter=5000)
+        assert res.converged
+
+    def test_preconditioned(self):
+        A, b, x = nonsym_system(seed=9)
+        res = gmres(A, b, M=JacobiPreconditioner(A), tol=1e-11)
+        assert res.converged
+        assert np.allclose(res.x, x, atol=1e-5)
+
+
+class TestPreconditioners:
+    def test_block_jacobi_matches_dense_blocks(self):
+        rng = np.random.default_rng(4)
+        nb, nd = 10, 2
+        blocks = rng.standard_normal((nb, nd, nd)) + 3 * np.eye(nd)
+        A = sp.block_diag([sp.csr_matrix(b) for b in blocks]).tocsr()
+        M = BlockJacobiPreconditioner(A, nd)
+        r = rng.standard_normal(nb * nd)
+        # For a block-diagonal matrix, block Jacobi is the exact inverse.
+        assert np.allclose(A @ M(r), r, atol=1e-10)
+
+    def test_block_jacobi_rejects_bad_size(self):
+        A = sp.eye(7).tocsr()
+        with pytest.raises(ValueError):
+            BlockJacobiPreconditioner(A, 2)
+
+    def test_ssor_improves_cg(self):
+        A, b, x = spd_system(seed=11)
+        plain = cg(A, b, tol=1e-10, maxiter=1000)
+        ssor = cg(A, b, M=SSORPreconditioner(A), tol=1e-10, maxiter=1000)
+        assert ssor.converged
+        assert ssor.iterations <= plain.iterations
+
+    def test_jacobi_from_diagonal_vector(self):
+        d = np.array([2.0, 4.0])
+        M = JacobiPreconditioner(d)
+        assert np.allclose(M(np.array([2.0, 4.0])), [1.0, 1.0])
+
+
+class TestNewton:
+    def test_scalar_like_system(self):
+        # F(x) = x^3 - b componentwise.
+        b = np.array([8.0, 27.0, 1.0])
+
+        def F(x):
+            return x**3 - b
+
+        def J(x):
+            return sp.diags(3 * x**2).tocsr()
+
+        res = newton_solve(F, J, np.ones(3) * 2.0, tol=1e-12)
+        assert res.converged
+        assert np.allclose(res.x, [2.0, 3.0, 1.0], atol=1e-8)
+
+    def test_coupled_nonlinear(self):
+        # F1 = x0^2 + x1 - 3, F2 = x0 + x1^2 - 5 -> (x0, x1) ~ (1.09, 1.80)
+        def F(x):
+            return np.array([x[0] ** 2 + x[1] - 3, x[0] + x[1] ** 2 - 5])
+
+        def J(x):
+            return sp.csr_matrix(np.array([[2 * x[0], 1.0], [1.0, 2 * x[1]]]))
+
+        res = newton_solve(F, J, np.array([1.0, 1.0]), tol=1e-12)
+        assert res.converged
+        assert np.allclose(F(res.x), 0.0, atol=1e-9)
+
+    def test_already_converged(self):
+        def F(x):
+            return x - 1.0
+
+        def J(x):
+            return sp.eye(2).tocsr()
+
+        res = newton_solve(F, J, np.ones(2), tol=1e-10)
+        assert res.converged
+        assert res.iterations == 0
+
+
+class TestBlockMatrix:
+    def test_insert_vs_add(self):
+        b = BlockMatrixBuilder(2, 2)
+        blk = np.eye(2)
+        b.set_block(0, 0, blk, ADD_VALUES)
+        b.set_block(0, 0, blk, ADD_VALUES)
+        b.set_block(1, 1, 5 * blk, INSERT_VALUES)
+        b.set_block(1, 1, 5 * blk, INSERT_VALUES)  # idempotent overwrite
+        A = b.assemble().toarray()
+        assert np.allclose(A[:2, :2], 2 * np.eye(2))
+        assert np.allclose(A[2:, 2:], 5 * np.eye(2))
+
+    def test_assemble_freezes(self):
+        b = BlockMatrixBuilder(1, 2)
+        b.set_block(0, 0, np.eye(2))
+        A1 = b.assemble()
+        A2 = b.assemble()
+        assert A1 is A2  # reused, no re-assembly (the paper's VU-solve trick)
+        with pytest.raises(RuntimeError):
+            b.set_block(0, 0, np.eye(2))
+
+    def test_matvec_matches_dense(self):
+        rng = np.random.default_rng(8)
+        b = BlockMatrixBuilder(3, 2)
+        dense = np.zeros((6, 6))
+        for i in range(3):
+            for j in range(3):
+                if rng.random() < 0.6:
+                    blk = rng.standard_normal((2, 2))
+                    b.set_block(i, j, blk)
+                    dense[2 * i : 2 * i + 2, 2 * j : 2 * j + 2] = blk
+        A = b.assemble()
+        x = rng.standard_normal(6)
+        assert np.allclose(A @ x, dense @ x)
+
+    def test_interleave_roundtrip(self):
+        u = np.arange(5.0)
+        v = np.arange(5.0) + 10
+        x = interleave_fields([u, v])
+        assert np.allclose(x[:4], [0, 10, 1, 11])
+        uu, vv = deinterleave_fields(x, 2)
+        assert np.allclose(uu, u)
+        assert np.allclose(vv, v)

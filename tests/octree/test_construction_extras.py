@@ -1,0 +1,126 @@
+"""Tests for point-cloud construction and complete_region."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import morton
+from repro.octree.build import complete_region, tree_from_points, uniform_tree
+from repro.octree.tree import Octree
+
+
+class TestTreeFromPoints:
+    def test_leaf_occupancy_bound(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((500, 2))
+        t = tree_from_points(2, pts, max_points_per_leaf=12, max_level=10)
+        assert t.is_linear()
+        grid = (pts * (1 << morton.MAX_DEPTH)).astype(np.int64)
+        idx = t.locate_points(grid)
+        counts = np.bincount(idx, minlength=len(t))
+        assert counts.max() <= 12
+
+    def test_clustered_points_refine_locally(self):
+        rng = np.random.default_rng(1)
+        cluster = rng.random((400, 2)) * 0.1 + 0.05  # dense corner cluster
+        t = tree_from_points(2, cluster, max_points_per_leaf=5, max_level=12)
+        # Fine levels only near the cluster.
+        fine = t.levels >= t.levels.max() - 1
+        centers = t.centers() / (1 << morton.MAX_DEPTH)
+        assert np.all(np.linalg.norm(centers[fine] - 0.1, axis=1) < 0.25)
+        assert t.coverage() == pytest.approx(1.0)
+
+    def test_3d(self):
+        rng = np.random.default_rng(2)
+        pts = rng.random((200, 3))
+        t = tree_from_points(3, pts, max_points_per_leaf=20, max_level=6)
+        assert t.is_linear()
+        assert t.coverage() == pytest.approx(1.0)
+
+    def test_rejects_bad_points(self):
+        with pytest.raises(ValueError):
+            tree_from_points(2, np.array([[1.5, 0.2]]))
+        with pytest.raises(ValueError):
+            tree_from_points(2, np.array([0.5, 0.5]))
+
+    def test_max_level_cap(self):
+        pts = np.full((50, 2), 0.3)  # coincident points cannot be separated
+        t = tree_from_points(2, pts, max_points_per_leaf=1, max_level=5)
+        assert t.levels.max() == 5
+
+
+class TestCompleteRegion:
+    def test_same_level_endpoints(self):
+        u = uniform_tree(2, 2)
+        cr = complete_region(u.anchors[0], 2, u.anchors[-1], 2, 2)
+        assert cr.is_linear()
+        # Region + both endpoints partitions the cube.
+        total = cr.merged(
+            Octree(
+                np.stack([u.anchors[0], u.anchors[-1]]),
+                np.array([2, 2]),
+                2,
+            )
+        )
+        assert total.is_linear()
+        assert total.coverage() == pytest.approx(1.0)
+
+    def test_adjacent_octants_empty_region(self):
+        u = uniform_tree(2, 3)
+        cr = complete_region(u.anchors[0], 3, u.anchors[1], 3, 2)
+        assert len(cr) == 0
+
+    def test_mixed_levels(self):
+        half = 1 << (morton.MAX_DEPTH - 1)
+        quarter = half // 2
+        a = np.array([0, 0])  # level-2 first cell
+        b = np.array([half, half])  # level-1 last quadrant
+        cr = complete_region(a, 2, b, 1, 2)
+        total = cr.merged(Octree(np.stack([a, b]), np.array([2, 1]), 2))
+        assert total.is_linear()
+        assert total.coverage() == pytest.approx(1.0)
+
+    def test_rejects_wrong_order(self):
+        u = uniform_tree(2, 2)
+        with pytest.raises(ValueError):
+            complete_region(u.anchors[-1], 2, u.anchors[0], 2, 2)
+
+    def test_minimality(self):
+        """Every emitted octant's parent would overlap an endpoint or leave
+        the interval, so the cover is minimal."""
+        u = uniform_tree(2, 3)
+        a, b = u.anchors[5], u.anchors[40]
+        cr = complete_region(a, 3, b, 3, 2)
+        ka = morton.keys(a[None], np.array([3]), 2)[0]
+        kb = morton.keys(b[None], np.array([3]), 2)[0]
+        for i in range(len(cr)):
+            if cr.levels[i] == 0:
+                continue
+            pa, pl = morton.parent(cr.anchors[i], cr.levels[i])
+            lo, hi = morton.descendant_key_range(pa[None], pl[None], 2)
+            parent_inside = (
+                lo[0] > ka
+                and hi[0] <= kb
+                and not morton.overlaps(pa, pl[()], a, 3)
+                and not morton.overlaps(pa, pl[()], b, 3)
+            )
+            assert not parent_inside
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_property_complete_region_partition(seed):
+    """region + endpoints always tile the span exactly, at random levels."""
+    rng = np.random.default_rng(seed)
+    u = uniform_tree(2, 3)
+    i, j = sorted(rng.choice(len(u), size=2, replace=False))
+    if i == j:
+        return
+    a, b = u.anchors[i], u.anchors[j]
+    cr = complete_region(a, 3, b, 3, 2)
+    total = cr.merged(Octree(np.stack([a, b]), np.array([3, 3]), 2))
+    assert total.is_linear()
+    # Volume = everything from a to b inclusive.
+    expect = (j - i + 1) * (1 / 64)
+    assert total.coverage() == pytest.approx(expect)

@@ -1,0 +1,98 @@
+"""Tests for the level-by-level baselines vs single-pass multi-level AMR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree.build import build_tree, uniform_tree
+from repro.octree.coarsen import coarsen
+from repro.octree.level_by_level import (
+    coarsen_level_by_level,
+    refine_level_by_level,
+)
+from repro.octree.refine import refine
+from repro.octree.tree import Octree
+
+
+def random_leaf_tree(seed, dim=2, max_level=4, p=0.5):
+    rng = np.random.default_rng(seed)
+
+    def pred(anchors, levels):
+        return rng.random(len(levels)) < p
+
+    return build_tree(dim, pred, max_level=max_level, min_level=1)
+
+
+class TestRefineBaseline:
+    @pytest.mark.parametrize("jump", [1, 2, 3, 4])
+    def test_same_result_as_single_pass(self, jump):
+        t = uniform_tree(2, 2)
+        targets = t.levels + jump
+        multi = refine(t, targets)
+        lbl, passes = refine_level_by_level(t, targets)
+        assert lbl == multi
+        assert passes == jump
+
+    def test_mixed_targets(self):
+        t = random_leaf_tree(0)
+        rng = np.random.default_rng(1)
+        targets = np.minimum(t.levels + rng.integers(0, 4, len(t)), 8)
+        multi = refine(t, targets)
+        lbl, passes = refine_level_by_level(t, targets)
+        assert lbl == multi
+        assert passes == int((targets - t.levels).max())
+
+    def test_noop_costs_zero_passes(self):
+        t = uniform_tree(2, 3)
+        lbl, passes = refine_level_by_level(t, t.levels)
+        assert lbl == t
+        assert passes == 0
+
+    def test_intermediate_grid_count_grows_with_jump(self):
+        """The baseline builds one intermediate grid per level of depth —
+        the overhead the paper's single-pass REFINE removes."""
+        t = Octree.root(2)
+        _, p1 = refine_level_by_level(t, np.array([2]))
+        _, p2 = refine_level_by_level(t, np.array([6]))
+        assert p2 == 6 and p1 == 2
+
+    def test_rejects_coarsening(self):
+        t = uniform_tree(2, 2)
+        with pytest.raises(ValueError):
+            refine_level_by_level(t, t.levels - 1)
+
+
+class TestCoarsenBaseline:
+    @pytest.mark.parametrize("drop", [1, 2, 3])
+    def test_same_result_as_single_pass(self, drop):
+        t = uniform_tree(2, 4)
+        votes = np.maximum(t.levels - drop, 0)
+        multi = coarsen(t, votes)
+        lbl, passes = coarsen_level_by_level(t, votes)
+        assert lbl == multi
+        assert passes >= drop  # one pass per level + fixed-point check
+
+    def test_mixed_votes(self):
+        t = random_leaf_tree(3)
+        rng = np.random.default_rng(4)
+        votes = np.maximum(t.levels - rng.integers(0, 4, len(t)), 0)
+        multi = coarsen(t, votes)
+        lbl, _ = coarsen_level_by_level(t, votes)
+        assert lbl == multi
+
+    def test_rejects_refining_votes(self):
+        t = uniform_tree(2, 2)
+        with pytest.raises(ValueError):
+            coarsen_level_by_level(t, t.levels + 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2000))
+def test_property_baselines_match_single_pass(seed):
+    t = random_leaf_tree(seed, max_level=4)
+    rng = np.random.default_rng(seed + 9)
+    up = np.minimum(t.levels + rng.integers(0, 3, len(t)), 7)
+    assert refine_level_by_level(t, up)[0] == refine(t, up)
+    down = np.maximum(t.levels - rng.integers(0, 3, len(t)), 0)
+    assert coarsen_level_by_level(t, down)[0] == coarsen(t, down)

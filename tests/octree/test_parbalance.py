@@ -1,0 +1,91 @@
+"""Tests for distributed 2:1 balance restoration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.comm import run_spmd
+from repro.octree.balance import balance, is_balanced
+from repro.octree.build import build_tree, uniform_tree
+from repro.octree.parbalance import par_balance
+from repro.octree.partition import scatter_tree
+from repro.octree.refine import refine
+from repro.octree.tree import Octree
+
+
+def gather(outs, dim=2):
+    return Octree(
+        np.concatenate([o.anchors for o in outs]),
+        np.concatenate([o.levels for o in outs]),
+        dim,
+    )
+
+
+def run_par_balance(tree, nprocs):
+    parts = scatter_tree(tree, nprocs)
+    outs = run_spmd(nprocs, lambda c: par_balance(c, parts[c.rank]))
+    return gather(outs, tree.dim)
+
+
+class TestParBalance:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4])
+    def test_cross_rank_violation_fixed(self, nprocs):
+        """A deep refinement at a partition boundary must ripple into the
+        neighboring rank's chunk."""
+        t = uniform_tree(2, 2)
+        targets = t.levels.copy()
+        targets[len(t) // 2] = 6  # deep spike in the middle of the SFC order
+        unbalanced = refine(t, targets)
+        out = run_par_balance(unbalanced, nprocs)
+        assert is_balanced(out)
+        assert out == balance(unbalanced)
+
+    @pytest.mark.parametrize("nprocs", [2, 4])
+    def test_already_balanced_unchanged(self, nprocs):
+        t = uniform_tree(2, 3)
+        out = run_par_balance(t, nprocs)
+        assert out == t
+
+    def test_boundary_spike_both_sides(self):
+        """Spikes at both chunk endpoints stress the query routing."""
+        t = uniform_tree(2, 2)
+        targets = t.levels.copy()
+        targets[0] = 5
+        targets[-1] = 5
+        unbalanced = refine(t, targets)
+        out = run_par_balance(unbalanced, 3)
+        assert is_balanced(out)
+        assert out == balance(unbalanced)
+
+    def test_3d(self):
+        t = uniform_tree(3, 1)
+        targets = t.levels.copy()
+        targets[3] = 4
+        unbalanced = refine(t, targets)
+        out = run_par_balance(unbalanced, 2)
+        assert is_balanced(out)
+        assert out == balance(unbalanced)
+
+    def test_empty_rank(self):
+        t = uniform_tree(2, 1)
+        targets = t.levels.copy()
+        targets[0] = 4
+        unbalanced = refine(t, targets)
+        # More ranks than wanted: scatter produces small/empty chunks.
+        out = run_par_balance(unbalanced, 6)
+        assert is_balanced(out)
+        assert out == balance(unbalanced)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000), nprocs=st.sampled_from([2, 3]))
+def test_property_par_balance_equals_serial(seed, nprocs):
+    rng = np.random.default_rng(seed)
+
+    def pred(anchors, levels):
+        return rng.random(len(levels)) < 0.4
+
+    t = build_tree(2, pred, max_level=5, min_level=1)
+    out = run_par_balance(t, nprocs)
+    assert out == balance(t)

@@ -1,0 +1,179 @@
+"""Tests for the Octree container, construction, and domains."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import morton
+from repro.octree.build import build_tree, tree_from_function, uniform_tree
+from repro.octree.domain import BoxDomain, ComplementDomain, SphereDomain
+from repro.octree.tree import Octree
+
+
+def random_leaf_tree(rng, dim, max_level=5, p_refine=0.5):
+    """Random linear tree by stochastic top-down refinement."""
+
+    def pred(anchors, levels):
+        return rng.random(len(levels)) < p_refine
+
+    return build_tree(dim, pred, max_level=max_level)
+
+
+class TestOctreeBasics:
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_root(self, dim):
+        t = Octree.root(dim)
+        assert len(t) == 1
+        assert t.is_linear()
+        assert t.coverage() == pytest.approx(1.0)
+
+    def test_constructor_sorts(self):
+        a = np.array([[0, 0], [1 << (morton.MAX_DEPTH - 1), 0], [0, 0]])
+        l = np.array([1, 1, 3])
+        t = Octree(a, l, 2)
+        assert t.is_sorted()
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_uniform_tree_counts(self, dim):
+        for lev in range(0, 4):
+            t = uniform_tree(dim, lev)
+            assert len(t) == (1 << (dim * lev))
+            assert t.is_linear()
+            assert np.all(t.levels == lev)
+            assert t.coverage() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_random_build_is_linear_and_complete(self, dim):
+        rng = np.random.default_rng(0)
+        t = random_leaf_tree(rng, dim)
+        assert t.is_linear()
+        assert t.coverage() == pytest.approx(1.0)
+
+    def test_eq(self):
+        t = uniform_tree(2, 2)
+        assert t == t.copy()
+        assert t != uniform_tree(2, 3)
+
+
+class TestLinearize:
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_removes_duplicates(self, dim):
+        t = uniform_tree(dim, 2)
+        dup = t.merged(t)
+        lin = dup.linearize()
+        assert lin == t
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_removes_ancestors_keeps_finest(self, dim):
+        t = uniform_tree(dim, 3)
+        with_root = t.merged(Octree.root(dim))
+        lin = with_root.linearize()
+        assert lin == t
+
+    def test_chain_of_ancestors(self):
+        # root, a child, a grandchild along the same SFC path
+        anchors = np.zeros((3, 2), np.int64)
+        levels = np.array([0, 1, 2])
+        t = Octree(anchors, levels, 2).linearize()
+        assert len(t) == 1
+        assert t.levels[0] == 2
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_idempotent(self, dim):
+        rng = np.random.default_rng(1)
+        t = random_leaf_tree(rng, dim)
+        merged = t.merged(uniform_tree(dim, 1))
+        once = merged.linearize()
+        twice = once.linearize()
+        assert once == twice
+        assert once.is_linear()
+
+
+class TestLocate:
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_locate_centers(self, dim):
+        rng = np.random.default_rng(2)
+        t = random_leaf_tree(rng, dim)
+        centers = t.centers().astype(np.int64)
+        idx = t.locate_points(centers)
+        assert np.array_equal(idx, np.arange(len(t)))
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_locate_anchors(self, dim):
+        rng = np.random.default_rng(3)
+        t = random_leaf_tree(rng, dim)
+        idx = t.locate_points(t.anchors)
+        assert np.array_equal(idx, np.arange(len(t)))
+
+    def test_locate_uncovered_returns_minus_one(self):
+        # Incomplete tree: only the first quadrant at level 1.
+        half = 1 << (morton.MAX_DEPTH - 1)
+        t = Octree(np.array([[0, 0]]), np.array([1]), 2)
+        assert t.locate_points(np.array([[half, half]]))[0] == -1
+        assert t.locate_points(np.array([[10, 10]]))[0] == 0
+
+    def test_find_exact(self):
+        t = uniform_tree(2, 2)
+        idx = t.find(t.anchors, t.levels)
+        assert np.array_equal(idx, np.arange(len(t)))
+        missing = t.find(t.anchors[:1], np.array([3]))
+        assert missing[0] == -1
+
+
+class TestDomains:
+    def test_box_domain_incomplete(self):
+        dom = BoxDomain([0.0, 0.0], [0.5, 0.5])
+        t = uniform_tree(2, 2, domain=dom)
+        # Only the 4 level-2 cells in the lower-left quadrant survive.
+        assert len(t) == 4
+        assert t.coverage() == pytest.approx(0.25)
+
+    def test_sphere_domain_conservative(self):
+        dom = SphereDomain([0.5, 0.5], 0.25)
+        t = uniform_tree(2, 4, domain=dom)
+        assert 0 < len(t) < 16**2
+        # All retained cells intersect the disk (conservative box test).
+        centers = t.centers() / (1 << morton.MAX_DEPTH)
+        half = t.sizes() / (1 << morton.MAX_DEPTH) / 2
+        dist = np.linalg.norm(centers - 0.5, axis=1)
+        assert np.all(dist <= 0.25 + np.sqrt(2) * half + 1e-12)
+
+    def test_complement_domain(self):
+        hole = SphereDomain([0.5, 0.5], 0.2)
+        dom = ComplementDomain(hole)
+        t = uniform_tree(2, 4, domain=dom)
+        centers = t.centers() / (1 << morton.MAX_DEPTH)
+        dist = np.linalg.norm(centers - 0.5, axis=1)
+        # No cell fully inside the hole survives.
+        half = t.sizes()[0] / (1 << morton.MAX_DEPTH) / 2
+        assert np.all(dist > 0.2 - np.sqrt(2) * half - 1e-12)
+
+    def test_tree_from_function_refines_interface(self):
+        def phi(x):
+            return np.linalg.norm(x - 0.5, axis=1) - 0.3
+
+        t = tree_from_function(2, phi, max_level=6, min_level=2, threshold=0.05)
+        assert t.is_linear()
+        assert t.coverage() == pytest.approx(1.0)
+        # The finest cells hug the circle; coarse cells exist away from it.
+        assert t.levels.max() == 6
+        assert t.levels.min() == 2
+        fine = t.levels == 6
+        centers = t.centers()[fine] / (1 << morton.MAX_DEPTH)
+        d = np.abs(np.linalg.norm(centers - 0.5, axis=1) - 0.3)
+        # Fine cells sit within a cell-diagonal reach of the interface.
+        assert np.all(d < 0.1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), dim=st.sampled_from([2, 3]))
+def test_property_build_always_linear_complete(seed, dim):
+    rng = np.random.default_rng(seed)
+    t = random_leaf_tree(rng, dim, max_level=4, p_refine=0.4)
+    assert t.is_linear()
+    assert t.coverage() == pytest.approx(1.0)
+    # Volumes partition the cube: locate a random point uniquely.
+    pts = rng.integers(0, 1 << morton.MAX_DEPTH, size=(20, dim))
+    idx = t.locate_points(pts)
+    assert np.all(idx >= 0)
