@@ -29,9 +29,21 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     return "\n".join(out)
 
 
+def provenance() -> str:
+    """One-line measurement provenance: which SPMD backend produced the
+    numbers below, on how many cores.  Benchmark honesty: wall-clock numbers
+    from different backends are not comparable without this."""
+    from repro.runtime import default_backend_name
+
+    return (
+        f"(SPMD backend: {default_backend_name()}; "
+        f"host cores: {os.cpu_count()})"
+    )
+
+
 def report(experiment: str, title: str, body: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    text = f"# {experiment}: {title}\n\n{body}\n"
+    text = f"# {experiment}: {title}\n{provenance()}\n\n{body}\n"
     path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
     with open(path, "w") as fh:
         fh.write(text)

@@ -6,9 +6,15 @@ machine-model reproduction of the paper's Fig. 4a/4b curves plus the Fig. 5
 application breakdown.  This is the command-line version of the benchmark
 suite's scaling experiments.
 
-Run:  python examples/scaling_study.py
+Run:  python examples/scaling_study.py [--backend thread|process|serial]
+
+The backend flag picks the SPMD execution backend (see ``repro.runtime``):
+threads (default, zero-copy), forked processes (true multi-core), or the
+deterministic serial scheduler.  Measured counters are identical on every
+backend; wall-clock differs.
 """
 
+import argparse
 import time
 
 import numpy as np
@@ -22,7 +28,7 @@ from repro.perf.machine import MachineModel, parallel_efficiency, weak_efficienc
 from repro.perf.model import ApplicationModel, paper_fig5_solvers
 
 
-def measure_matvec(mesh, nprocs, n_iters=3):
+def measure_matvec(mesh, nprocs, n_iters=3, backend=None):
     Ke = stiffness_matrix(mesh.elem_h(), mesh.dim)
     u = np.ones(mesh.n_nodes)
     stats = CommStats()
@@ -37,20 +43,34 @@ def measure_matvec(mesh, nprocs, n_iters=3):
         comm.barrier()
         return (time.perf_counter() - t0) / n_iters
 
-    times = run_spmd(nprocs, fn, stats=stats)
+    times = run_spmd(nprocs, fn, stats=stats, backend=backend)
     return max(times), stats.snapshot()
 
 
 def main() -> None:
+    from repro.runtime import available_backends, default_backend_name
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--backend",
+        default=None,
+        choices=sorted(available_backends()),
+        help="SPMD execution backend (default: $REPRO_SPMD_BACKEND or "
+        "'thread')",
+    )
+    args = ap.parse_args()
+    backend = args.backend
+
     def phi(x):
         return np.linalg.norm(x - 0.5, axis=1) - 0.3
 
     mesh = mesh_from_field(phi, 2, max_level=7, min_level=4, threshold=0.03)
-    print(f"simulator mesh: {mesh.n_elems} elements\n")
+    print(f"simulator mesh: {mesh.n_elems} elements")
+    print(f"SPMD backend: {backend or default_backend_name()}\n")
     print("-- simulator: distributed MATVEC (real kernels, metered) --")
     print(f"{'ranks':>5} {'ms/pass':>9} {'msgs':>6} {'bytes':>9}")
     for p in (1, 2, 4, 8):
-        t, snap = measure_matvec(mesh, p)
+        t, snap = measure_matvec(mesh, p, backend=backend)
         print(f"{p:>5} {t*1e3:>9.2f} {snap['messages']:>6} "
               f"{snap['bytes_sent']:>9}")
 

@@ -1,23 +1,29 @@
 """In-process SPMD communicator.
 
 The paper's algorithms are MPI programs.  This module provides a faithful
-shared-nothing-in-spirit simulator: :func:`run_spmd` runs one OS thread per
-rank, and each rank talks to the others only through a :class:`Comm` whose
-semantics mirror mpi4py (``send/recv``, ``bcast``, ``allreduce``,
-``alltoallv``, ``split`` with memoization, non-blocking probe/barrier for the
-NBX sparse exchange).  All traffic is metered (:mod:`repro.mpi.stats`) so the
-performance model can extrapolate to the paper's process counts.
+shared-nothing-in-spirit simulator: :func:`run_spmd` runs one simulated rank
+per thread, OS process, or scheduler slot (see :mod:`repro.runtime`), and
+each rank talks to the others only through a :class:`Comm` whose semantics
+mirror mpi4py (``send/recv``, ``bcast``, ``allreduce``, ``alltoallv``,
+``split`` with memoization, non-blocking probe/barrier for the NBX sparse
+exchange).  All traffic is metered (:mod:`repro.mpi.stats`) so the
+performance model can extrapolate to the paper's process counts; the
+counters are backend-independent because metering happens here, above the
+transport.
 
-Payloads are passed by reference for speed; SPMD code here follows the MPI
-discipline of never mutating a buffer it has sent (the test-suite exercises
-this contract).  NumPy arrays are the preferred payload, matching the mpi4py
-guidance of buffer-based messaging for performance.
+Payloads are passed by reference on the thread/serial backends for speed;
+SPMD code here follows the MPI discipline of never mutating a buffer it has
+sent (the test-suite exercises this contract).  NumPy arrays are the
+preferred payload, matching the mpi4py guidance of buffer-based messaging
+for performance — on the process backend they travel through shared memory.
+
+``Comm`` is transport-agnostic: it talks to a duck-typed *world* object
+whose contract is documented in :mod:`repro.runtime.base`.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -26,105 +32,11 @@ from .stats import CommStats, payload_bytes
 ANY_SOURCE = -1
 ANY_TAG = -1
 
-_DEFAULT_TIMEOUT = 120.0
+_DEFAULT_TIMEOUT = 120.0  # see repro.runtime.base.resolve_timeout
 
 
 class SpmdError(RuntimeError):
     """Raised when any rank of an SPMD run fails or the run deadlocks."""
-
-
-class _Mailbox:
-    """Unordered-match message store for one destination rank."""
-
-    def __init__(self) -> None:
-        self._cv = threading.Condition()
-        self._messages: list[tuple[int, int, Any]] = []
-
-    def put(self, src: int, tag: int, payload: Any) -> None:
-        with self._cv:
-            self._messages.append((src, tag, payload))
-            self._cv.notify_all()
-
-    def _match(self, source: int, tag: int) -> Optional[int]:
-        for i, (s, t, _) in enumerate(self._messages):
-            if (source == ANY_SOURCE or s == source) and (tag == ANY_TAG or t == tag):
-                return i
-        return None
-
-    def get(self, source: int, tag: int, timeout: float):
-        with self._cv:
-            deadline = None
-            while True:
-                i = self._match(source, tag)
-                if i is not None:
-                    return self._messages.pop(i)
-                if deadline is None:
-                    import time
-
-                    deadline = time.monotonic() + timeout
-                import time
-
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise SpmdError(
-                        f"recv(source={source}, tag={tag}) timed out — deadlock?"
-                    )
-                self._cv.wait(remaining)
-
-    def probe(self, source: int, tag: int) -> Optional[tuple[int, int]]:
-        with self._cv:
-            i = self._match(source, tag)
-            if i is None:
-                return None
-            s, t, _ = self._messages[i]
-            return (s, t)
-
-
-class _CollectiveContext:
-    """One reusable rendezvous slot per communicator.
-
-    Ranks deposit contributions, synchronize on a barrier, read the combined
-    result, and synchronize again before the slot is reused.  The double
-    barrier makes back-to-back collectives safe.
-    """
-
-    def __init__(self, size: int) -> None:
-        self.size = size
-        self.slots: list[Any] = [None] * size
-        self.result: Any = None
-        self.barrier = threading.Barrier(size)
-        self.lock = threading.Lock()
-
-    def exchange(self, rank: int, value: Any, combine: Callable[[list], Any]) -> Any:
-        self.slots[rank] = value
-        idx = self.barrier.wait()
-        if idx == 0:
-            self.result = combine(self.slots)
-        self.barrier.wait()
-        out = self.result
-        idx = self.barrier.wait()
-        if idx == 0:
-            self.slots = [None] * self.size
-            self.result = None
-        self.barrier.wait()
-        return out
-
-
-class _World:
-    """Shared state for one communicator (group of ranks)."""
-
-    def __init__(self, size: int, stats: CommStats, timeout: float) -> None:
-        self.size = size
-        self.stats = stats
-        self.timeout = timeout
-        self.mailboxes = [_Mailbox() for _ in range(size)]
-        self.collective = _CollectiveContext(size)
-        self.split_lock = threading.Lock()
-        self.split_cache: dict = {}
-        self.attr_lock = threading.Lock()
-        self.attrs: dict = {}
-        self.ibarrier_lock = threading.Lock()
-        self.ibarrier_counts: dict[int, int] = {}
 
 
 class Request:
@@ -141,9 +53,13 @@ class Request:
 
 
 class Comm:
-    """Rank-local view of a simulated communicator."""
+    """Rank-local view of a simulated communicator.
 
-    def __init__(self, world: _World, rank: int) -> None:
+    Backend-independent: all transport goes through the world interface
+    (:mod:`repro.runtime.base`), all metering happens here.
+    """
+
+    def __init__(self, world, rank: int) -> None:
         self._world = world
         self.rank = rank
         self.size = world.size
@@ -154,19 +70,15 @@ class Comm:
         if not 0 <= dest < self.size:
             raise ValueError(f"bad dest {dest}")
         self._world.stats.record_p2p(payload_bytes(obj))
-        self._world.mailboxes[dest].put(self.rank, tag, obj)
+        self._world.post(dest, self.rank, tag, obj)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
-        _, _, payload = self._world.mailboxes[self.rank].get(
-            source, tag, self._world.timeout
-        )
+        _, _, payload = self._world.wait_recv(self.rank, source, tag)
         return payload
 
     def recv_with_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Like :meth:`recv` but returns ``(payload, source, tag)``."""
-        s, t, payload = self._world.mailboxes[self.rank].get(
-            source, tag, self._world.timeout
-        )
+        s, t, payload = self._world.wait_recv(self.rank, source, tag)
         return payload, s, t
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
@@ -175,7 +87,7 @@ class Comm:
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Non-blocking probe; returns (source, tag) or None."""
-        return self._world.mailboxes[self.rank].probe(source, tag)
+        return self._world.probe(self.rank, source, tag)
 
     def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
         self.send(obj, dest, tag)
@@ -185,18 +97,16 @@ class Comm:
 
     def barrier(self) -> None:
         self._world.stats.record_barrier()
-        self._world.collective.exchange(self.rank, None, lambda xs: None)
+        self._world.exchange(self.rank, None, lambda xs: None)
 
     def ibarrier(self, key: int = 0) -> "_IBarrier":
         """Non-blocking barrier used by the NBX sparse exchange."""
-        w = self._world
-        with w.ibarrier_lock:
-            w.ibarrier_counts[key] = w.ibarrier_counts.get(key, 0) + 1
-        return _IBarrier(w, key)
+        self._world.ibarrier_arrive(self.rank, key)
+        return _IBarrier(self._world, self.rank, key)
 
     def _collective(self, value: Any, combine: Callable[[list], Any]) -> Any:
         self._world.stats.record_collective(payload_bytes(value))
-        return self._world.collective.exchange(self.rank, value, combine)
+        return self._world.exchange(self.rank, value, combine)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         return self._collective(
@@ -273,17 +183,11 @@ class Comm:
         members = sorted((k, r) for (c, k, r) in triples if c == color)
         ranks = [r for _, r in members]
         my_new_rank = ranks.index(self.rank)
-        # All ranks of a subgroup must share one _World.  Splits are
-        # collective, so every rank's per-comm call counter agrees; keying the
-        # cache by (member tuple, call number) makes successive splits with
-        # identical groups produce fresh worlds.
-        with self._world.split_lock:
-            key2 = (tuple(ranks), self._n_splits)
-            if key2 not in self._world.split_cache:
-                self._world.split_cache[key2] = _World(
-                    len(ranks), self._world.stats, self._world.timeout
-                )
-            sub = self._world.split_cache[key2]
+        # All ranks of a subgroup must share one world.  Splits are
+        # collective, so every rank's per-comm call counter agrees; keying
+        # the subworld by (member tuple, call number) makes successive splits
+        # with identical groups produce fresh worlds.
+        sub = self._world.subworld((tuple(ranks), self._n_splits), ranks)
         return Comm(sub, my_new_rank)
 
     def split_cached(self, color: int, key: int = 0, cache_tag: Any = None):
@@ -292,40 +196,39 @@ class Comm:
         # Keyed per rank: the cached object is this rank's view of the
         # sub-communicator, not a shared handle.
         ck = ("split_cached", cache_tag, color, key, self.rank)
-        with self._world.attr_lock:
-            hit = ck in self._world.attrs
-        if hit:
-            # Everyone who cached it returns it without communication.
-            with self._world.attr_lock:
-                return self._world.attrs[ck]
+        cached = self._world.get_attr(ck, _ATTR_MISS)
+        if cached is not _ATTR_MISS:
+            # Everyone who cached it returns it without communication
+            # (including a cached None from an undefined color).
+            return cached
         sub = self.split(color, key)
-        with self._world.attr_lock:
-            self._world.attrs[ck] = sub
+        self._world.set_attr(ck, sub)
         return sub
 
     # -------------------------------------------------------------- attrs
 
     def set_attr(self, key: Any, value: Any) -> None:
-        with self._world.attr_lock:
-            self._world.attrs[key] = value
+        self._world.set_attr(key, value)
 
     def get_attr(self, key: Any, default: Any = None) -> Any:
-        with self._world.attr_lock:
-            return self._world.attrs.get(key, default)
+        return self._world.get_attr(key, default)
 
     @property
     def stats(self) -> CommStats:
         return self._world.stats
 
 
+_ATTR_MISS = object()
+
+
 class _IBarrier:
-    def __init__(self, world: _World, key: int) -> None:
+    def __init__(self, world, rank: int, key) -> None:
         self._world = world
+        self._rank = rank
         self._key = key
 
     def done(self) -> bool:
-        with self._world.ibarrier_lock:
-            return self._world.ibarrier_counts.get(self._key, 0) >= self._world.size
+        return self._world.ibarrier_done(self._rank, self._key)
 
 
 def _sum_op(a, b):
@@ -352,43 +255,26 @@ def run_spmd(
     nprocs: int,
     fn: Callable[..., Any],
     *args: Any,
-    timeout: float = _DEFAULT_TIMEOUT,
+    timeout: Optional[float] = None,
     stats: Optional[CommStats] = None,
+    backend: Optional[Any] = None,
 ) -> list:
     """Run ``fn(comm, *args)`` on ``nprocs`` simulated ranks; return per-rank
     results.  Any rank exception (or a deadlock past ``timeout``) raises
-    :class:`SpmdError` with the first failing rank's traceback chained.
+    :class:`SpmdError` with the failing rank identified.
+
+    ``backend`` selects how ranks execute: ``"thread"`` (default, zero-copy,
+    GIL-bound), ``"process"`` (forked OS processes + shared-memory payloads,
+    real core parallelism), or ``"serial"`` (deterministic round-robin, for
+    debugging) — or a :class:`repro.runtime.Backend` instance.  When omitted,
+    the ``REPRO_SPMD_BACKEND`` environment variable decides.  ``timeout``
+    defaults to ``REPRO_SPMD_TIMEOUT`` seconds (else 120).  All backends
+    meter traffic into ``stats`` identically.
     """
+    # Imported lazily: repro.runtime's backends import Comm from this module.
+    from repro.runtime import resolve_backend, resolve_timeout
+
+    b = resolve_backend(backend)
+    timeout_s = resolve_timeout(timeout)
     stats = stats if stats is not None else CommStats()
-    world = _World(nprocs, stats, timeout)
-    results: list = [None] * nprocs
-    errors: list = [None] * nprocs
-
-    def runner(r: int) -> None:
-        try:
-            results[r] = fn(Comm(world, r), *args)
-        except BaseException as exc:  # noqa: BLE001 - reported to the caller
-            errors[r] = exc
-
-    threads = [
-        threading.Thread(target=runner, args=(r,), daemon=True)
-        for r in range(nprocs)
-    ]
-    for t in threads:
-        t.start()
-    import time as _time
-
-    deadline = _time.monotonic() + timeout
-    while True:
-        alive = [t for t in threads if t.is_alive()]
-        # A failed rank usually leaves its peers blocked in a collective;
-        # report the root cause, not the ensuing hang (threads are daemons).
-        for r, exc in enumerate(errors):
-            if exc is not None:
-                raise SpmdError(f"rank {r} failed: {exc!r}") from exc
-        if not alive:
-            break
-        if _time.monotonic() > deadline:
-            raise SpmdError(f"SPMD run timed out after {timeout}s (deadlock?)")
-        alive[0].join(min(0.05, max(deadline - _time.monotonic(), 0.001)))
-    return results
+    return b.run(nprocs, fn, args, timeout_s, stats)

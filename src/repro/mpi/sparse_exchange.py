@@ -13,6 +13,7 @@ volumes directly.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Mapping
 
 from .comm import ANY_SOURCE, ANY_TAG, Comm
@@ -71,7 +72,5 @@ def nbx_exchange(comm: Comm, outgoing: Mapping[int, Any]) -> dict[int, Any]:
             if status is None:
                 break
         else:
-            import time
-
             time.sleep(0)  # yield to other rank threads
     return received

@@ -74,3 +74,60 @@ class CommStats:
                 "barriers": self.barriers,
                 "comm_splits": self.comm_splits,
             }
+
+    def merge(self, snap: dict) -> None:
+        """Fold another recorder's snapshot into these counters.
+
+        Used by the process backend to aggregate the cross-process shared
+        counters back into the caller's ``CommStats`` after a run."""
+        with self._lock:
+            self.messages += snap.get("messages", 0)
+            self.bytes_sent += snap.get("bytes_sent", 0)
+            self.collectives += snap.get("collectives", 0)
+            self.collective_bytes += snap.get("collective_bytes", 0)
+            self.barriers += snap.get("barriers", 0)
+            self.comm_splits += snap.get("comm_splits", 0)
+
+
+class SharedCommStats:
+    """``CommStats``-compatible recorder over a ``multiprocessing.Array``.
+
+    All rank processes of the process backend share one array, so
+    ``comm.stats.snapshot()`` inside SPMD code sees the same global live
+    totals a thread-backend run would.  Construct the array as
+    ``ctx.Array("q", len(SharedCommStats.FIELDS), lock=True)``.
+    """
+
+    FIELDS = (
+        "messages",
+        "bytes_sent",
+        "collectives",
+        "collective_bytes",
+        "barriers",
+        "comm_splits",
+    )
+
+    def __init__(self, array) -> None:
+        self._a = array
+
+    def record_p2p(self, nbytes: int) -> None:
+        with self._a.get_lock():
+            self._a[0] += 1
+            self._a[1] += nbytes
+
+    def record_collective(self, nbytes: int) -> None:
+        with self._a.get_lock():
+            self._a[2] += 1
+            self._a[3] += nbytes
+
+    def record_barrier(self) -> None:
+        with self._a.get_lock():
+            self._a[4] += 1
+
+    def record_split(self) -> None:
+        with self._a.get_lock():
+            self._a[5] += 1
+
+    def snapshot(self) -> dict:
+        with self._a.get_lock():
+            return dict(zip(self.FIELDS, list(self._a)))

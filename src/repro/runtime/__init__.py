@@ -1,0 +1,55 @@
+"""Pluggable SPMD execution backends.
+
+``repro.mpi.comm.run_spmd`` delegates rank execution and message transport
+to one of the backends registered here:
+
+``thread`` (default)
+    one thread per rank, zero-copy mailboxes — fastest startup, exact
+    communication metering, but the GIL serializes rank compute.
+``process``
+    one forked OS process per rank with shared-memory ndarray transport —
+    real core-level parallelism for NumPy-heavy ranks (POSIX only).
+``serial``
+    deterministic single-threaded round-robin scheduler — reproducible
+    interleavings and structural deadlock reports for debugging.
+
+Select per call (``run_spmd(..., backend="process")``) or globally via the
+``REPRO_SPMD_BACKEND`` environment variable.  See ``docs/API.md`` ("Choosing
+an execution backend") for guidance and caveats.
+"""
+
+from .base import (  # noqa: F401
+    BACKEND_ENV,
+    DEFAULT_TIMEOUT,
+    TIMEOUT_ENV,
+    Backend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    resolve_timeout,
+)
+from .process import ProcessBackend
+from .serial import SerialBackend
+from .thread import ThreadBackend
+
+register_backend(ThreadBackend.name, ThreadBackend)
+register_backend(ProcessBackend.name, ProcessBackend)
+register_backend(SerialBackend.name, SerialBackend)
+
+__all__ = [
+    "Backend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "resolve_timeout",
+    "BACKEND_ENV",
+    "TIMEOUT_ENV",
+    "DEFAULT_TIMEOUT",
+]

@@ -1,0 +1,393 @@
+"""Process-per-rank backend: true parallelism for NumPy-heavy ranks.
+
+Each rank is a forked OS process, so rank compute never shares a GIL.  The
+transport is one ``multiprocessing.Queue`` inbox per top-level rank carrying
+small control records; ndarray payloads ship through shared-memory blocks
+(:mod:`repro.runtime.shm`).  ``fork`` keeps the SPMD closure and its captured
+arrays out of pickle entirely — children inherit them copy-on-write.
+
+Sub-communicators never allocate new OS resources: a split derives a
+*context id* (deterministically, because splits are collective) and routes
+through the top-level inboxes with world-local ranks translated to global
+ones — the same context-id trick real MPI uses.  Collectives are
+root-gather-then-broadcast over the same transport.
+
+Counters live in a shared array (:class:`repro.mpi.stats.SharedCommStats`),
+so ``comm.stats`` shows the same global live view as the thread backend; the
+parent folds the totals back into the caller's ``CommStats`` when the run
+completes.  Each rank also writes its last-known blocking state into a
+shared board that the parent dumps if the run times out.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+import traceback
+from typing import Any, Callable
+
+from . import shm
+from .base import Backend
+from .thread import ANY_SOURCE, ANY_TAG
+
+_STATE_SLOT = 200  # bytes of last-known-state per rank
+
+# Record kinds on the wire.
+_USER = "u"
+_CONTRIB = "c"
+_RESULT = "r"
+_IBARRIER = "b"
+
+
+class _StateBoard:
+    """Fixed-slot shared byte array: one last-known-state string per rank."""
+
+    def __init__(self, array, nprocs: int) -> None:
+        self._a = array
+        self.nprocs = nprocs
+
+    def set(self, rank: int, desc: str) -> None:
+        data = desc.encode("utf-8", "replace")[: _STATE_SLOT - 1]
+        lo = rank * _STATE_SLOT
+        self._a[lo : lo + len(data) + 1] = data + b"\x00"
+
+    def get(self, rank: int) -> str:
+        lo = rank * _STATE_SLOT
+        raw = bytes(self._a[lo : lo + _STATE_SLOT])
+        return raw.split(b"\x00", 1)[0].decode("utf-8", "replace")
+
+    def dump(self) -> str:
+        return "\n".join(
+            f"  rank {r}: {self.get(r) or 'running'}" for r in range(self.nprocs)
+        )
+
+
+class _ProcessRuntime:
+    """Per-child shared handles: inbox queues, stats, state board, registry."""
+
+    def __init__(self, inboxes, my_global: int, stats, board, timeout: float) -> None:
+        self.inboxes = inboxes
+        self.my_global = my_global
+        self.stats = stats
+        self.board = board
+        self.timeout = timeout
+        self.registry: dict = {}
+        self.orphans: dict = {}
+
+    def register(self, world: "ProcessWorld") -> None:
+        self.registry[world.ctx] = world
+        for rec in self.orphans.pop(world.ctx, []):
+            world._deliver(rec)
+
+    def send(self, dest_global: int, record: tuple) -> None:
+        self.inboxes[dest_global].put(record)
+
+    def _dispatch(self, record: tuple) -> None:
+        ctx = record[1]
+        world = self.registry.get(ctx)
+        if world is None:
+            # Message for a sub-communicator this rank has not created yet
+            # (sender raced ahead); hold it until the split completes here.
+            self.orphans.setdefault(ctx, []).append(record)
+        else:
+            world._deliver(record)
+
+    def pump(self, block: bool, deadline: float, waiting_for: str) -> None:
+        """Drain available records; optionally block for one (up to deadline)."""
+        from repro.mpi.comm import SpmdError
+
+        inbox = self.inboxes[self.my_global]
+        got = False
+        while True:
+            try:
+                self._dispatch(inbox.get_nowait())
+                got = True
+            except queue_mod.Empty:
+                break
+        if got or not block:
+            return
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise SpmdError(f"{waiting_for} timed out — deadlock?")
+        try:
+            self._dispatch(inbox.get(timeout=min(remaining, 0.5)))
+        except queue_mod.Empty:
+            if time.monotonic() >= deadline:
+                raise SpmdError(f"{waiting_for} timed out — deadlock?") from None
+
+    def pump_briefly(self, seconds: float) -> None:
+        """Blocking drain bounded by ``seconds``; no deadlock accounting."""
+        inbox = self.inboxes[self.my_global]
+        try:
+            self._dispatch(inbox.get(timeout=seconds))
+        except queue_mod.Empty:
+            return
+        while True:
+            try:
+                self._dispatch(inbox.get_nowait())
+            except queue_mod.Empty:
+                return
+
+
+class ProcessWorld:
+    """One communicator's view inside one rank process.
+
+    ``ctx`` is the communicator's context id (a tuple, identical on every
+    member); ``members`` maps world-local ranks to top-level global ranks.
+    """
+
+    def __init__(self, runtime: _ProcessRuntime, ctx: tuple, members) -> None:
+        self.runtime = runtime
+        self.ctx = ctx
+        self.members = list(members)
+        self.size = len(self.members)
+        self.stats = runtime.stats
+        self.timeout = runtime.timeout
+        self._pending: list = []  # delivered user messages (src, tag, payload)
+        self._contribs: dict = {}
+        self._results: dict = {}
+        self._ibar: dict = {}
+        self._coll_seq = 0
+        self.split_cache: dict = {}
+        self.attrs: dict = {}
+        runtime.register(self)
+
+    # -------------------------------------------------------- record intake
+
+    def _deliver(self, rec: tuple) -> None:
+        kind = rec[0]
+        if kind == _USER:
+            _, _, src, tag, enc = rec
+            self._pending.append((src, tag, shm.decode(enc)))
+        elif kind == _CONTRIB:
+            _, _, seq, src, enc = rec
+            self._contribs.setdefault(seq, {})[src] = shm.decode(enc)
+        elif kind == _RESULT:
+            _, _, seq, enc = rec
+            self._results[seq] = shm.decode(enc)
+        elif kind == _IBARRIER:
+            _, _, key = rec
+            self._ibar[key] = self._ibar.get(key, 0) + 1
+
+    def _match(self, source: int, tag: int):
+        for i, (s, t, _) in enumerate(self._pending):
+            if (source == ANY_SOURCE or s == source) and (tag == ANY_TAG or t == tag):
+                return i
+        return None
+
+    def _wait(self, rank: int, ready, desc: str):
+        """Pump the inbox until ``ready()`` is truthy; board shows ``desc``."""
+        rt = self.runtime
+        rt.board.set(rt.my_global, desc)
+        deadline = time.monotonic() + self.timeout
+        while True:
+            out = ready()
+            if out is not None:
+                # On failure the board keeps `desc` as the last-known state.
+                rt.board.set(rt.my_global, "running")
+                return out
+            rt.pump(block=True, deadline=deadline, waiting_for=desc)
+
+    # Transport interface (see repro.runtime.base) -------------------------
+
+    def post(self, dest: int, src: int, tag: int, payload: Any) -> None:
+        self.runtime.send(
+            self.members[dest], (_USER, self.ctx, src, tag, shm.encode(payload))
+        )
+
+    def wait_recv(self, rank: int, source: int, tag: int):
+        def ready():
+            i = self._match(source, tag)
+            return None if i is None else self._pending.pop(i)
+
+        return self._wait(
+            rank, ready, f"recv(source={source}, tag={tag}) ctx={self.ctx}"
+        )
+
+    def probe(self, rank: int, source: int, tag: int):
+        self.runtime.pump(block=False, deadline=0.0, waiting_for="probe")
+        i = self._match(source, tag)
+        if i is None:
+            # A miss costs a ~2ms blocking pump instead of a pure spin:
+            # probe loops (NBX drains) would otherwise burn the core while
+            # peers are trying to get scheduled to send.
+            self.runtime.pump_briefly(0.002)
+            i = self._match(source, tag)
+        if i is None:
+            return None
+        s, t, _ = self._pending[i]
+        return (s, t)
+
+    def exchange(self, rank: int, value: Any, combine: Callable[[list], Any]) -> Any:
+        seq = self._coll_seq
+        self._coll_seq += 1
+        if rank == 0:
+            def have_all():
+                got = self._contribs.get(seq, {})
+                return (got,) if len(got) >= self.size - 1 else None
+
+            got = self._wait(
+                rank, have_all, f"collective #{seq} (root) ctx={self.ctx}"
+            )[0] if self.size > 1 else {}
+            self._contribs.pop(seq, None)
+            vals = [value] + [got[r] for r in range(1, self.size)]
+            result = combine(vals)
+            for r in range(1, self.size):
+                # Fresh encoding per destination: each receiver consumes
+                # (and unlinks) its own shared-memory block.
+                self.runtime.send(
+                    self.members[r], (_RESULT, self.ctx, seq, shm.encode(result))
+                )
+            return result
+        self.runtime.send(
+            self.members[0], (_CONTRIB, self.ctx, seq, rank, shm.encode(value))
+        )
+
+        def have_result():
+            # Boxed so a legitimate None result (e.g. a barrier) is not
+            # mistaken for "not ready yet".
+            if seq in self._results:
+                return (self._results.pop(seq),)
+            return None
+
+        return self._wait(
+            rank, have_result, f"collective #{seq} (awaiting root) ctx={self.ctx}"
+        )[0]
+
+    def ibarrier_arrive(self, rank: int, key) -> None:
+        # Everyone-tells-everyone: O(p^2) records per barrier, but the only
+        # correct shape over per-producer-FIFO queues.  NBX exits its drain
+        # loop when the barrier completes, i.e. once *every* member's
+        # arrival record has landed here — and each arrival rides the same
+        # FIFO as that member's earlier user messages, which are therefore
+        # already delivered.  A cheaper root-counted completion broadcast
+        # is NOT ordered behind other senders' messages and loses them.
+        for g in self.members:
+            self.runtime.send(g, (_IBARRIER, self.ctx, key))
+
+    def ibarrier_done(self, rank: int, key) -> bool:
+        self.runtime.pump(block=False, deadline=0.0, waiting_for="ibarrier")
+        return self._ibar.get(key, 0) >= self.size
+
+    def subworld(self, key, ranks: list[int]) -> "ProcessWorld":
+        # Splits are collective and `key` embeds (member tuple, split count),
+        # so appending it to the parent context gives every member the same
+        # fresh context id with no coordination.
+        if key not in self.split_cache:
+            self.split_cache[key] = ProcessWorld(
+                self.runtime,
+                self.ctx + (key,),
+                [self.members[r] for r in ranks],
+            )
+        return self.split_cache[key]
+
+    def set_attr(self, key, value) -> None:
+        self.attrs[key] = value  # rank-local; see repro.runtime.base
+
+    def get_attr(self, key, default=None):
+        return self.attrs.get(key, default)
+
+
+def _child_main(rank, nprocs, fn, args, inboxes, result_q, shared, board_arr, timeout):
+    from repro.mpi.comm import Comm
+    from repro.mpi.stats import SharedCommStats
+
+    board = _StateBoard(board_arr, nprocs)
+    runtime = _ProcessRuntime(inboxes, rank, SharedCommStats(shared), board, timeout)
+    world = ProcessWorld(runtime, (), range(nprocs))
+    try:
+        result = fn(Comm(world, rank), *args)
+        try:
+            result_q.put(("ok", rank, result))
+        except Exception as exc:  # result not picklable
+            result_q.put(
+                ("err", rank, f"result of rank {rank} not picklable: {exc!r}")
+            )
+    except BaseException as exc:  # noqa: BLE001 - serialized to the parent
+        result_q.put(
+            ("err", rank, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
+        )
+
+
+class ProcessBackend(Backend):
+    """Rank-per-OS-process backend over fork + shared memory."""
+
+    name = "process"
+
+    @staticmethod
+    def is_available() -> bool:
+        return "fork" in mp.get_all_start_methods()
+
+    def run(self, nprocs, fn, args, timeout, stats) -> list:
+        from repro.mpi.comm import SpmdError
+        from repro.mpi.stats import SharedCommStats
+
+        if not self.is_available():
+            raise SpmdError(
+                "process backend needs the 'fork' start method (POSIX only); "
+                "use backend='thread' or 'serial'"
+            )
+        ctx = mp.get_context("fork")
+        inboxes = [ctx.Queue() for _ in range(nprocs)]
+        result_q = ctx.Queue()
+        shared = ctx.Array("q", len(SharedCommStats.FIELDS), lock=True)
+        board_arr = ctx.Array("c", nprocs * _STATE_SLOT, lock=False)
+        board = _StateBoard(board_arr, nprocs)
+        procs = [
+            ctx.Process(
+                target=_child_main,
+                args=(r, nprocs, fn, args, inboxes, result_q, shared,
+                      board_arr, timeout),
+                daemon=True,
+            )
+            for r in range(nprocs)
+        ]
+        for p in procs:
+            p.start()
+
+        results: list = [None] * nprocs
+        done = [False] * nprocs
+        # Grace margin: ranks detect their own recv timeouts at `timeout` and
+        # report a precise error; the parent backstop only fires for waits
+        # that have no per-operation deadline (e.g. a stuck collective root).
+        deadline = time.monotonic() + timeout + 2.0
+        try:
+            while not all(done):
+                try:
+                    kind, r, payload = result_q.get(timeout=0.1)
+                except queue_mod.Empty:
+                    if time.monotonic() > deadline:
+                        raise SpmdError(
+                            f"SPMD run timed out after {timeout}s (deadlock?)\n"
+                            "last-known per-rank state:\n" + board.dump()
+                        )
+                    dead = [
+                        r for r in range(nprocs)
+                        if not done[r] and not procs[r].is_alive()
+                        and procs[r].exitcode not in (0, None)
+                    ]
+                    if dead:
+                        r = dead[0]
+                        raise SpmdError(
+                            f"rank {r} died with exit code {procs[r].exitcode} "
+                            "before reporting a result"
+                        )
+                    continue
+                if kind == "err":
+                    raise SpmdError(f"rank {r} failed: {payload}")
+                results[r] = payload
+                done[r] = True
+        finally:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(2.0)
+            for q in [*inboxes, result_q]:
+                q.close()
+                q.cancel_join_thread()
+            # Fold the shared counters into the caller's stats object so the
+            # aggregate matches the thread backend exactly.
+            stats.merge(SharedCommStats(shared).snapshot())
+        return results

