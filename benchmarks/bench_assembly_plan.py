@@ -1,0 +1,299 @@
+"""Symbolic/numeric split assembly: plan numeric update vs per-call COO path.
+
+Two measurements feed ``BENCH_PR2.json``:
+
+* ``reassembly``: the per-call reference path
+  (:func:`repro.fem.assembly.assemble_matrix` — COO construction + ``P^T A P``
+  sparse matmuls every call) against :meth:`AssemblyPlan.assemble` numeric
+  updates on the same coefficient batch.  The quick profile uses a >= 32x32
+  element 2D mesh; the CI gate **fails if the plan path is not >= 2x faster**.
+* ``ch_newton_iterate``: one CH residual+jacobian evaluation pair at the same
+  Newton iterate, before (seed implementation: reference assembly, mobility
+  stiffness assembled twice) vs after (plan cache + per-iterate operator
+  sharing).
+
+Run standalone (exits non-zero if the gate fails)::
+
+    PYTHONPATH=src python benchmarks/bench_assembly_plan.py --quick
+
+or as part of ``benchmarks/run_all.py --quick``, which embeds the same
+numbers in its report and writes this file's ``BENCH_PR2.json`` too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.chns import forms
+from repro.chns.ch_solver import CHSolver
+from repro.chns.free_energy import mobility, psi_double_prime, psi_prime
+from repro.chns.params import CHNSParams
+from repro.fem.assembly import assemble_matrix
+from repro.fem.operators import mass_matrix, stiffness_matrix
+from repro.fem.plan import AssemblyPlan
+from repro.mesh.mesh import Mesh, mesh_from_field
+from repro.octree.build import uniform_tree
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_PR2.json"
+)
+SPEEDUP_GATE = 2.0
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_reassembly(quick: bool) -> dict:
+    """Per-call COO reference vs plan numeric update on one mesh."""
+
+    def interface(x):
+        return np.linalg.norm(x - 0.5, axis=1) - 0.3
+
+    if quick:
+        # Uniform 32x32 (the gated quick size) plus an adaptive mesh with
+        # hanging nodes so the projection is exercised.
+        meshes = {
+            "uniform_32x32": Mesh.from_tree(uniform_tree(2, 5)),
+            "adaptive_2d": mesh_from_field(
+                interface, 2, max_level=6, min_level=4, threshold=0.05
+            ),
+        }
+        repeats = 30
+    else:
+        meshes = {
+            "uniform_64x64": Mesh.from_tree(uniform_tree(2, 6)),
+            "adaptive_2d": mesh_from_field(
+                interface, 2, max_level=8, min_level=5, threshold=0.03
+            ),
+            "adaptive_3d": mesh_from_field(
+                interface, 3, max_level=4, min_level=2, threshold=0.1
+            ),
+        }
+        repeats = 50
+
+    out: dict = {}
+    for name, mesh in meshes.items():
+        rng = np.random.default_rng(0)
+        nq = 2**mesh.dim
+        coeff = rng.uniform(0.5, 2.0, (mesh.n_elems, nq))
+        Ke = stiffness_matrix(mesh.elem_h(), mesh.dim, coeff)
+
+        t_sym0 = time.perf_counter()
+        plan = AssemblyPlan(mesh)
+        t_symbolic = time.perf_counter() - t_sym0
+
+        t_ref = _best_of(lambda: assemble_matrix(mesh, Ke), repeats)
+        t_plan = _best_of(lambda: plan.assemble(Ke), repeats)
+        err = float(
+            np.abs(plan.assemble(Ke) - assemble_matrix(mesh, Ke)).max()
+        )
+        out[name] = {
+            "n_elems": int(mesh.n_elems),
+            "n_dofs": int(mesh.n_dofs),
+            "hanging_nodes": int(mesh.nodes.is_hanging.sum()),
+            "reference_percall_ms": round(t_ref * 1e3, 4),
+            "plan_numeric_ms": round(t_plan * 1e3, 4),
+            "plan_symbolic_ms": round(t_symbolic * 1e3, 4),
+            "speedup": round(t_ref / t_plan, 2),
+            "symbolic_amortized_after_calls": (
+                int(np.ceil(t_symbolic / max(t_ref - t_plan, 1e-12)))
+            ),
+            "max_abs_diff_vs_reference": err,
+        }
+    return out
+
+
+def bench_ch_iterate(quick: bool) -> dict:
+    """One CH Newton residual+jacobian pair: seed path vs cached plan path."""
+
+    def interface(x):
+        return np.linalg.norm(x - 0.5, axis=1) - 0.3
+
+    max_level = 5 if quick else 6
+    mesh = mesh_from_field(
+        interface, 2, max_level=max_level, min_level=4, threshold=0.05
+    )
+    prm = CHNSParams()
+    ch = CHSolver(mesh, prm)
+    phi = mesh.interpolate(
+        lambda x: np.tanh(-interface(x) / (np.sqrt(2) * prm.Cn))
+    )
+    mu = ch.initial_mu(phi)
+    dt = 1e-3
+    n = mesh.n_dofs
+    x = np.concatenate([phi, mu])
+
+    # --- before: the seed implementation.  Reference assembly everywhere,
+    # and residual/jacobian each assemble the mobility stiffness and
+    # re-evaluate phi at quadrature points independently.
+    M = assemble_matrix(mesh, mass_matrix(mesh.elem_h(), 2))
+    K = assemble_matrix(mesh, stiffness_matrix(mesh.elem_h(), 2))
+    mob_coeff = 1.0 / (prm.Pe * prm.Cn)
+    Cn2 = prm.Cn**2
+
+    def legacy_mobility_stiffness(p):
+        m_q = mobility(forms.field_at_quad(mesh, p))
+        return assemble_matrix(
+            mesh, stiffness_matrix(mesh.elem_h(), 2, m_q)
+        )
+
+    def legacy_pair():
+        p, m = x[:n], x[n:]
+        Km = legacy_mobility_stiffness(p)
+        r_phi = M @ ((p - phi) / dt) + mob_coeff * (Km @ m)
+        psi_q = psi_prime(forms.field_at_quad(mesh, p))
+        r_mu = M @ m - forms.source(mesh, psi_q) - Cn2 * (K @ p)
+        _ = np.concatenate([r_phi, r_mu])
+        Km2 = legacy_mobility_stiffness(p)
+        psi2_q = psi_double_prime(forms.field_at_quad(mesh, p))
+        M_psi2 = assemble_matrix(mesh, mass_matrix(mesh.elem_h(), 2, psi2_q))
+        return sp.bmat(
+            [[M / dt, mob_coeff * Km2], [-M_psi2 - Cn2 * K, M]], format="csr"
+        )
+
+    # --- after: the current code path (plan cache + IterateCache).
+    residual, jacobian, _ = ch.operators(phi, mu, None, dt)
+
+    def cached_pair():
+        ch._iterate.clear()  # a fresh Newton iterate, not a warm rerun
+        residual(x)
+        return jacobian(x)
+
+    repeats = 5 if quick else 10
+    cached_pair()  # warm the assembly-plan cache (symbolic phase)
+    t_before = _best_of(legacy_pair, repeats)
+    t_after = _best_of(cached_pair, repeats)
+    return {
+        "n_elems": int(mesh.n_elems),
+        "n_dofs": int(mesh.n_dofs),
+        "seed_iterate_ms": round(t_before * 1e3, 3),
+        "cached_iterate_ms": round(t_after * 1e3, 3),
+        "speedup": round(t_before / t_after, 2),
+        "mobility_assemblies_per_iterate": {"seed": 2, "cached": 1},
+    }
+
+
+def run(quick: bool) -> dict:
+    """All sections + the quick-size gate verdict (used by run_all.py)."""
+    out = {
+        "reassembly": bench_reassembly(quick),
+        "ch_newton_iterate": bench_ch_iterate(quick),
+        "speedup_gate": SPEEDUP_GATE,
+    }
+    gate_mesh = "uniform_32x32" if quick else "uniform_64x64"
+    out["gate_mesh"] = gate_mesh
+    out["gate_speedup"] = out["reassembly"][gate_mesh]["speedup"]
+    out["gate_passed"] = bool(out["gate_speedup"] >= SPEEDUP_GATE)
+    return out
+
+
+def write_report(section: dict, quick: bool, output: str = DEFAULT_OUT) -> None:
+    """Wrap a ``run()`` section in the PR 1 provenance headers and write it."""
+    report = {
+        "meta": {
+            "generated_unix": int(time.time()),
+            "host_cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "quick": quick,
+            "note": (
+                "assembly-plan numeric updates vs per-call COO reference; "
+                "single-process timings (no SPMD backend involved), so "
+                "provenance is host + python only"
+            ),
+        },
+        "assembly_plan": section,
+    }
+    os.makedirs(os.path.dirname(output), exist_ok=True)
+    with open(output, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {output}")
+
+    # Text table alongside the figure benchmarks (collated into
+    # EXPERIMENTS.md by make_experiments_md.py).
+    from _report import format_table, report as text_report
+
+    rows = [
+        (
+            name,
+            row["n_elems"],
+            row["hanging_nodes"],
+            row["reference_percall_ms"],
+            row["plan_numeric_ms"],
+            row["plan_symbolic_ms"],
+            f"{row['speedup']}x",
+        )
+        for name, row in section["reassembly"].items()
+    ]
+    ch = section["ch_newton_iterate"]
+    body = format_table(
+        ["mesh", "elems", "hanging", "reference ms", "plan ms",
+         "symbolic ms", "speedup"],
+        rows,
+    ) + (
+        f"\n\nCH Newton iterate (residual+jacobian at one iterate): "
+        f"seed {ch['seed_iterate_ms']}ms -> cached {ch['cached_iterate_ms']}ms "
+        f"({ch['speedup']}x; mobility assemblies 2 -> 1)\n"
+        f"gate: plan >= {section['speedup_gate']}x vs per-call COO on "
+        f"{section['gate_mesh']}: "
+        f"{'PASS' if section['gate_passed'] else 'FAIL'} "
+        f"({section['gate_speedup']}x)"
+    )
+    text_report(
+        "assembly_plan",
+        "symbolic/numeric split assembly plans (PR 2)",
+        body,
+    )
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    ap.add_argument("--output", default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+
+    section = run(args.quick)
+    write_report(section, args.quick, args.output)
+
+    for name, row in section["reassembly"].items():
+        print(
+            f"  {name}: reference {row['reference_percall_ms']}ms -> plan "
+            f"{row['plan_numeric_ms']}ms ({row['speedup']}x)"
+        )
+    ch = section["ch_newton_iterate"]
+    print(
+        f"  ch iterate: seed {ch['seed_iterate_ms']}ms -> cached "
+        f"{ch['cached_iterate_ms']}ms ({ch['speedup']}x)"
+    )
+    if not section["gate_passed"]:
+        print(
+            f"ERROR: plan speedup {section['gate_speedup']}x on "
+            f"{section['gate_mesh']} below the {SPEEDUP_GATE}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"gate ok: {section['gate_speedup']}x >= {SPEEDUP_GATE}x on "
+        f"{section['gate_mesh']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

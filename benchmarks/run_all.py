@@ -10,6 +10,12 @@ Output (default ``benchmarks/results/BENCH_PR1.json``) records, per number,
 the backend that produced it plus host metadata — benchmark honesty demands
 the provenance ride with the measurement.  The ``--quick`` profile is sized
 for CI (< ~2 min on one core); omit it for the full mesh/key counts.
+
+The assembly-plan section (symbolic/numeric split vs per-call COO assembly,
+``bench_assembly_plan.py``) runs as part of every invocation and is also
+written standalone to ``benchmarks/results/BENCH_PR2.json``; the run fails
+if the plan path is not >= 2x faster than the reference path on the quick
+problem size.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np
+
+import bench_assembly_plan
 
 from repro.fem.operators import stiffness_matrix
 from repro.mesh.distributed import DistributedField
@@ -241,6 +249,9 @@ def main(argv=None) -> int:
     print("  ksort done")
     report["nbx"] = bench_nbx(backends, args.quick)
     print("  nbx done")
+    report["assembly_plan"] = bench_assembly_plan.run(args.quick)
+    bench_assembly_plan.write_report(report["assembly_plan"], args.quick)
+    print("  assembly_plan done")
     report["meta"]["total_wall_s"] = round(time.perf_counter() - t0, 2)
 
     os.makedirs(os.path.dirname(args.output), exist_ok=True)
@@ -254,6 +265,18 @@ def main(argv=None) -> int:
     if report["ksort"].get("serial_deterministic") is False:
         print("ERROR: serial backend non-deterministic", file=sys.stderr)
         return 1
+    ap_sec = report["assembly_plan"]
+    if not ap_sec["gate_passed"]:
+        print(
+            f"ERROR: assembly-plan speedup {ap_sec['gate_speedup']}x below "
+            f"the {ap_sec['speedup_gate']}x gate on {ap_sec['gate_mesh']}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"assembly plan: {ap_sec['gate_speedup']}x vs per-call COO on "
+        f"{ap_sec['gate_mesh']}"
+    )
     return 0
 
 

@@ -21,7 +21,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..fem.operators import value_at_quad
-from ..la.newton import NewtonResult, newton_solve
+from ..la.newton import IterateCache, NewtonResult, newton_solve
 from ..mesh.mesh import Mesh
 from . import forms
 from .free_energy import mobility, psi_double_prime, psi_prime
@@ -36,27 +36,54 @@ class CHResult:
 
 
 class CHSolver:
-    """Reusable CH block for a fixed mesh (re-created after remeshing)."""
+    """Reusable CH block for a fixed mesh (re-created after remeshing).
+
+    ``residual`` and ``jacobian`` at one Newton iterate need the same two
+    expensive mesh-wide products — the quad-point phi evaluation and the
+    mobility-stiffness assembly.  A per-iterate :class:`IterateCache` keyed
+    on the phi component shares them, so each iterate pays for exactly one
+    mobility-stiffness assembly and one ``field_at_quad`` instead of two
+    (``self.counters`` records both, pinned down by the tests).
+    """
 
     def __init__(self, mesh: Mesh, params: CHNSParams):
         self.mesh = mesh
         self.params = params
         self.M = forms.mass(mesh)
         self.K = forms.stiffness(mesh)
+        self._iterate = IterateCache()
+        self.counters = {
+            "mobility_assemblies": 0,
+            "phi_quad_evals": 0,
+            "residual_evals": 0,
+            "jacobian_evals": 0,
+        }
+
+    def _phi_at_quad(self, phi: np.ndarray) -> np.ndarray:
+        def build():
+            self.counters["phi_quad_evals"] += 1
+            return forms.field_at_quad(self.mesh, phi)
+
+        return self._iterate.get(phi, "phi_q", build)
 
     def _mobility_stiffness(self, phi: np.ndarray) -> sp.csr_matrix:
-        m_q = mobility(forms.field_at_quad(self.mesh, phi))
-        return forms.stiffness(self.mesh, m_q)
+        phi_q = self._phi_at_quad(phi)
 
-    def solve(
+        def build():
+            self.counters["mobility_assemblies"] += 1
+            return forms.stiffness(self.mesh, mobility(phi_q))
+
+        return self._iterate.get(phi, "Km", build)
+
+    def operators(
         self,
         phi_n: np.ndarray,
         mu_n: np.ndarray,
         vel: np.ndarray | None,
         dt: float,
-        *,
-        tol: float = 1e-9,
-    ) -> CHResult:
+    ):
+        """The Newton callbacks ``(residual, jacobian, split)`` for one CH
+        step (exposed so tests and benchmarks can probe single iterates)."""
         mesh, prm = self.mesh, self.params
         n = mesh.n_dofs
         M, K = self.M, self.K
@@ -72,24 +99,39 @@ class CHSolver:
             return x[:n], x[n:]
 
         def residual(x):
+            self.counters["residual_evals"] += 1
             phi, mu = split(x)
             Km = self._mobility_stiffness(phi)
             r_phi = M @ ((phi - phi_n) / dt) + Cv @ phi + mob_coeff * (Km @ mu)
-            psi_q = psi_prime(forms.field_at_quad(mesh, phi))
+            psi_q = psi_prime(self._phi_at_quad(phi))
             r_mu = M @ mu - forms.source(mesh, psi_q) - Cn2 * (K @ phi)
             return np.concatenate([r_phi, r_mu])
 
         def jacobian(x):
+            self.counters["jacobian_evals"] += 1
             phi, mu = split(x)
             Km = self._mobility_stiffness(phi)
             J11 = M / dt + Cv
             J12 = mob_coeff * Km
-            psi2_q = psi_double_prime(forms.field_at_quad(mesh, phi))
+            psi2_q = psi_double_prime(self._phi_at_quad(phi))
             M_psi2 = forms.mass(mesh, psi2_q)
             J21 = -M_psi2 - Cn2 * K
             J22 = M
             return sp.bmat([[J11, J12], [J21, J22]], format="csr")
 
+        return residual, jacobian, split
+
+    def solve(
+        self,
+        phi_n: np.ndarray,
+        mu_n: np.ndarray,
+        vel: np.ndarray | None,
+        dt: float,
+        *,
+        tol: float = 1e-9,
+    ) -> CHResult:
+        residual, jacobian, split = self.operators(phi_n, mu_n, vel, dt)
+        self._iterate.clear()
         x0 = np.concatenate([phi_n, mu_n])
         res = newton_solve(
             residual, jacobian, x0, tol=tol * max(np.linalg.norm(x0), 1.0),

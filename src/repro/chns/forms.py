@@ -4,6 +4,11 @@ Thin layer over :mod:`repro.fem.operators` that evaluates DOF fields at
 quadrature points and assembles the global sparse operators each solver
 block needs.  Every operator here is a GEMM-expressed batched elemental
 computation followed by a node-wise scatter (paper Sec. II-D).
+
+All matrix assembly routes through :func:`repro.fem.plan.plan_assemble`:
+the COO pattern and hanging-node projection are precomputed once per mesh
+generation, and each call here only performs the cheap numeric update.  The
+slow reference path lives in :func:`repro.fem.assembly.assemble_matrix`.
 """
 
 from __future__ import annotations
@@ -13,7 +18,8 @@ from typing import Callable, Optional
 import numpy as np
 import scipy.sparse as sp
 
-from ..fem.assembly import assemble_matrix, assemble_vector
+from ..fem.assembly import assemble_vector
+from ..fem.plan import plan_assemble
 from ..fem.operators import (
     convection_matrix,
     gradient_at_quad,
@@ -38,11 +44,11 @@ def grad_at_quad(mesh: Mesh, u: np.ndarray) -> np.ndarray:
 
 def mass(mesh: Mesh, coeff=1.0) -> sp.csr_matrix:
     """Global (weighted) mass matrix; ``coeff`` may be a quad-point array."""
-    return assemble_matrix(mesh, mass_matrix(mesh.elem_h(), mesh.dim, coeff))
+    return plan_assemble(mesh, mass_matrix(mesh.elem_h(), mesh.dim, coeff))
 
 
 def stiffness(mesh: Mesh, coeff=1.0) -> sp.csr_matrix:
-    return assemble_matrix(mesh, stiffness_matrix(mesh.elem_h(), mesh.dim, coeff))
+    return plan_assemble(mesh, stiffness_matrix(mesh.elem_h(), mesh.dim, coeff))
 
 
 def convection(mesh: Mesh, vel_dofs: np.ndarray, rho_q=None) -> sp.csr_matrix:
@@ -50,7 +56,13 @@ def convection(mesh: Mesh, vel_dofs: np.ndarray, rho_q=None) -> sp.csr_matrix:
     vq = field_at_quad(mesh, vel_dofs)  # (e, q, dim)
     if rho_q is not None:
         vq = vq * rho_q[..., None]
-    return assemble_matrix(mesh, convection_matrix(mesh.elem_h(), mesh.dim, vq))
+    return convection_from_quad(mesh, vq)
+
+
+def convection_from_quad(mesh: Mesh, vq: np.ndarray) -> sp.csr_matrix:
+    """Convection by an advecting field already sampled at quadrature points
+    (e.g. the NS diffusive mass flux), shape (n_elems, nq, dim)."""
+    return plan_assemble(mesh, convection_matrix(mesh.elem_h(), mesh.dim, vq))
 
 
 def source(mesh: Mesh, f_q) -> np.ndarray:

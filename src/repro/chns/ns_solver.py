@@ -78,13 +78,7 @@ class NSSolver:
 
         M_rho = forms.mass(mesh, rho_q)
         C = forms.convection(mesh, v_star, rho_q)  # rho v* · grad
-        from ..fem.operators import convection_matrix
-        from ..fem.assembly import assemble_matrix
-
-        C_J = assemble_matrix(
-            mesh,
-            convection_matrix(mesh.elem_h(), dim, (1.0 / prm.Pe) * J_q),
-        )
+        C_J = forms.convection_from_quad(mesh, (1.0 / prm.Pe) * J_q)
         K_eta = forms.stiffness(mesh, eta_q)
 
         A_imp = (M_rho / dt + 0.5 * (C + C_J) + (0.5 / prm.Re) * K_eta).tocsr()

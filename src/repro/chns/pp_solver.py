@@ -13,6 +13,11 @@ discretized weakly (no-penetration boundaries make the flux term vanish):
 The operator has the constant nullspace; we solve with CG + Jacobi and a
 mean-zero projection, the iterative-solver choice the paper lands on after
 finding AMG setup too expensive at scale (Sec. III footnote).
+
+The variable-coefficient stiffness is re-assembled every step (the density
+field moves), but only numerically: the symbolic scatter/projection pattern
+comes from the per-generation :mod:`repro.fem.plan` cache shared by all
+four block solvers.
 """
 
 from __future__ import annotations

@@ -8,7 +8,9 @@ realized as one mass solve *per direction*: the paper's memory remark —
 splitting the update per component shrinks the assembled matrix from
 ``N x DIM x k`` to ``N x k`` nonzeros, and the mass matrix is assembled once
 and reused for every direction (and every later step) until the mesh
-changes, with no further Mat_Assembly calls.
+changes, with no further Mat_Assembly calls.  (The one-time assembly itself
+rides the per-generation :mod:`repro.fem.plan` symbolic cache, so even the
+post-remesh rebuild shares pattern work with the other block solvers.)
 """
 
 from __future__ import annotations

@@ -1,11 +1,17 @@
-"""Global assembly of elemental operators.
+"""Global assembly of elemental operators — the documented *reference* path.
 
 Assembly goes node-wise first (a plain COO scatter of the batched elemental
 matrices) and is then projected through the hanging-node interpolation:
 ``A = P^T A_nodes P``.  This reproduces the paper's structure where the
 elemental loop never special-cases hanging nodes — interpolation is folded
 into the gather/scatter operators.
-"""
+
+:func:`assemble_matrix` redoes the full symbolic work (COO construction,
+sparse matmuls, duplicate summation) on every call.  The solver hot path
+goes through :mod:`repro.fem.plan` instead, which precomputes all of that
+once per mesh generation; this module stays as the slow, obviously-correct
+reference the plan is validated against (``tests/fem/test_assembly_plan.py``
+cross-checks them at 1e-14)."""
 
 from __future__ import annotations
 
@@ -18,18 +24,22 @@ from ..mesh.mesh import Mesh
 
 
 def assemble_matrix(mesh: Mesh, Ke: np.ndarray) -> sp.csr_matrix:
-    """Assemble ``Σ_e P_e^T K_e P_e`` into a CSR matrix over DOFs."""
+    """Assemble ``Σ_e P_e^T K_e P_e`` into a CSR matrix over DOFs.
+
+    Reference path: rebuilds the COO pattern and re-runs the ``P^T A P``
+    projection per call.  Hot loops use :func:`repro.fem.plan.plan_assemble`.
+    """
     en = mesh.nodes.elem_nodes  # (n_elems, nc)
     n_elems, nc = en.shape
     rows = np.repeat(en, nc, axis=1).ravel()
     cols = np.tile(en, (1, nc)).ravel()
+    # COO -> CSR conversion already sums duplicate entries, and the sparse
+    # matmul product is duplicate-free by construction.
     A_nodes = sp.coo_matrix(
         (Ke.ravel(), (rows, cols)), shape=(mesh.n_nodes, mesh.n_nodes)
     ).tocsr()
     P = mesh.nodes.P
-    A = (P.T @ A_nodes @ P).tocsr()
-    A.sum_duplicates()
-    return A
+    return (P.T @ A_nodes @ P).tocsr()
 
 
 def assemble_vector(mesh: Mesh, be: np.ndarray) -> np.ndarray:

@@ -3,6 +3,13 @@
 Used by the fully-implicit Cahn-Hilliard block solve (paper Sec. II-A,
 step 1).  The residual/Jacobian callbacks assemble sparse operators; inner
 linear solves use our Krylov module.
+
+:class:`IterateCache` is the per-iterate operator cache the CH block plugs
+its callbacks into: Newton evaluates ``residual`` and ``jacobian`` at the
+same iterate back to back, and both need the same expensive mesh-wide
+products (quad-point field values, the mobility stiffness).  Keying a small
+cache on the iterate vector lets the two callbacks share one evaluation
+instead of assembling everything twice.
 """
 
 from __future__ import annotations
@@ -15,6 +22,42 @@ import scipy.sparse as sp
 
 from .krylov import bicgstab, gmres
 from .precond import JacobiPreconditioner
+
+
+class IterateCache:
+    """Share expensive products between callbacks evaluated at one iterate.
+
+    ``get(x, key, build)`` returns the cached value of ``key`` if ``x``
+    matches the iterate the cache currently holds (exact array equality —
+    line-search trial points at new iterates invalidate automatically), and
+    calls ``build()`` otherwise.  Only the latest iterate is retained: the
+    Newton loop never revisits older ones.
+    """
+
+    def __init__(self):
+        self._x: Optional[np.ndarray] = None
+        self._vals: dict = {}
+
+    def at(self, x: np.ndarray) -> dict:
+        """The value dict for iterate ``x``, cleared if ``x`` is new."""
+        if (
+            self._x is None
+            or self._x.shape != x.shape
+            or not np.array_equal(self._x, x)
+        ):
+            self._x = x.copy()
+            self._vals = {}
+        return self._vals
+
+    def get(self, x: np.ndarray, key, build: Callable[[], object]):
+        vals = self.at(x)
+        if key not in vals:
+            vals[key] = build()
+        return vals[key]
+
+    def clear(self) -> None:
+        self._x = None
+        self._vals = {}
 
 
 @dataclass
@@ -40,17 +83,21 @@ def newton_solve(
     """Damped Newton with Jacobi-preconditioned Krylov inner solves.
 
     Converges when ``||F(x)|| < tol`` or drops by ``rtol`` relative to the
-    initial residual.
+    initial residual.  If the Krylov inner solve stagnates twice, the
+    remaining iterations reuse the sparse-LU path directly instead of paying
+    a doomed 4000-iteration Krylov attempt plus a factorization each time.
     """
     x = x0.copy()
     F = residual(x)
-    norm0 = float(np.linalg.norm(F))
+    norm_F = float(np.linalg.norm(F))
+    norm0 = norm_F
     if norm0 < tol:
         return NewtonResult(x, 0, norm0, True)
     lin = bicgstab if solver == "bicgstab" else gmres
+    lu_fallbacks = 0
     for it in range(1, maxiter + 1):
         J = jacobian(x).tocsr()
-        if solver == "lu":
+        if solver == "lu" or lu_fallbacks >= 2:
             dx = sp.linalg.splu(J.tocsc()).solve(-F)
         else:
             M = JacobiPreconditioner(J)
@@ -60,18 +107,18 @@ def newton_solve(
                 # Krylov stagnated on a badly scaled Jacobian (the mixed
                 # phi/mu block is saddle-like): sparse-LU fallback.
                 dx = sp.linalg.splu(J.tocsc()).solve(-F)
-        # Backtracking line search on the residual norm.
+                lu_fallbacks += 1
+        # Backtracking line search on the residual norm (computed once per
+        # trial; the reference norm is hoisted out of the loop).
         step = damping
         for _ in range(8):
             x_new = x + step * dx
             F_new = residual(x_new)
-            if float(np.linalg.norm(F_new)) < (1.0 - 0.1 * step) * float(
-                np.linalg.norm(F)
-            ) or step < 1e-3:
+            norm_new = float(np.linalg.norm(F_new))
+            if norm_new < (1.0 - 0.1 * step) * norm_F or step < 1e-3:
                 break
             step *= 0.5
-        x, F = x_new, F_new
-        norm = float(np.linalg.norm(F))
-        if norm < tol or norm < rtol * norm0:
-            return NewtonResult(x, it, norm, True)
-    return NewtonResult(x, maxiter, float(np.linalg.norm(F)), False)
+        x, F, norm_F = x_new, F_new, norm_new
+        if norm_F < tol or norm_F < rtol * norm0:
+            return NewtonResult(x, it, norm_F, True)
+    return NewtonResult(x, maxiter, norm_F, False)

@@ -8,6 +8,13 @@ local elements; ``GhostWrite`` pushes accumulated (ADD_VALUES) or assigned
 exchange, and all traffic lands in the communicator's counters — these are
 the measurements behind the Fig. 4 scaling reproduction.
 
+All index arithmetic the exchanges need — positions of owned/ghost nodes in
+the ``needed`` array, per-peer send/receive index maps, the global-node →
+owned-position inverse — is precomputed once into an :class:`ExchangePlan`
+at construction.  ``ghost_read``/``ghost_write`` are then pure fancy-indexed
+gathers and scatters: no ``searchsorted`` and no per-node Python loop on the
+per-MATVEC hot path.
+
 The neighbor-discovery step (who needs which of my nodes) is set up with an
 allgather at simulator scale; the production equivalent is the paper's
 sorted outsourcing pattern whose communication fix (NBX vs raw Alltoall) is
@@ -16,13 +23,40 @@ implemented and benchmarked separately in :mod:`repro.mpi.sparse_exchange`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..mpi.comm import Comm
 from ..mpi.sparse_exchange import nbx_exchange
 from .mesh import Mesh
+
+
+@dataclass
+class ExchangePlan:
+    """Precomputed ghost-exchange schedule for one ``DistributedField``.
+
+    Built once per (mesh generation, communicator size, rank); every
+    ``ghost_read``/``ghost_write`` reuses these index arrays.  Message *ids*
+    still travel with the payloads (the NBX wire format is unchanged), but
+    neither side recomputes any map per call.
+    """
+
+    generation: int  #: mesh generation this schedule was built against
+    own_pos: np.ndarray  #: positions of `owned` within `needed`
+    ghost_pos: np.ndarray  #: positions of `ghosts` within `needed`
+    #: per-peer owned node ids the peer needs (GhostRead sends, sorted)
+    send_ids: dict = field(default_factory=dict)
+    #: per-peer positions of `send_ids[q]` within `owned`
+    send_pos: dict = field(default_factory=dict)
+    #: per-owner ghost node ids (GhostWrite sends, sorted within owner)
+    ghost_ids_by_owner: dict = field(default_factory=dict)
+    #: per-owner positions of those ghosts within `needed`
+    ghost_pos_by_owner: dict = field(default_factory=dict)
+    #: per-owner positions within `needed` of ids arriving in GhostRead
+    recv_needed_pos: dict = field(default_factory=dict)
+    #: inverse ownership map: global node id -> position in `owned` (or -1)
+    owned_lookup: np.ndarray = None
 
 
 class DistributedField:
@@ -50,8 +84,6 @@ class DistributedField:
         self.needed = np.unique(self.local_elem_nodes)
         self.owned = self.needed[self.node_owner[self.needed] == comm.rank]
         self.ghosts = self.needed[self.node_owner[self.needed] != comm.rank]
-        # Map global node id -> position in `needed`.
-        self._needed_pos = {int(g): i for i, g in enumerate(self.needed)}
         self.local_conn = np.searchsorted(self.needed, self.local_elem_nodes)
 
         # Exchange maps (setup allgather; see module docstring).
@@ -65,8 +97,41 @@ class DistributedField:
             if len(mine):
                 self.send_map[q] = mine
         self.recv_from = sorted(
-            {int(self.node_owner[g]) for g in self.ghosts}
+            {int(q) for q in np.unique(self.node_owner[self.ghosts])}
         )
+
+        self.plan = self._build_exchange_plan()
+
+    def _build_exchange_plan(self) -> ExchangePlan:
+        """Symbolic phase of the ghost exchange: all per-call index maps."""
+        plan = ExchangePlan(
+            generation=int(self.mesh.generation),
+            own_pos=np.searchsorted(self.needed, self.owned),
+            ghost_pos=np.searchsorted(self.needed, self.ghosts),
+        )
+        # GhostRead send side: owned values each peer needs, and their
+        # positions in the owned array.
+        for q, ids in self.send_map.items():
+            plan.send_ids[q] = ids
+            plan.send_pos[q] = np.searchsorted(self.owned, ids)
+        # GhostWrite send side: ghosts grouped by owner, ascending node id
+        # within each owner (stable sort of the already-sorted ghost array —
+        # the exact order the per-node loop used to produce, so the wire
+        # bytes are unchanged).
+        ghost_owner = self.node_owner[self.ghosts]
+        order = np.argsort(ghost_owner, kind="stable")
+        for q in np.unique(ghost_owner):
+            sel = order[ghost_owner[order] == q]
+            plan.ghost_ids_by_owner[int(q)] = self.ghosts[sel]
+            plan.ghost_pos_by_owner[int(q)] = plan.ghost_pos[sel]
+            # GhostRead receive side: owner q sends exactly these ghosts, in
+            # this order (it filters its copy of our sorted `needed`).
+            plan.recv_needed_pos[int(q)] = plan.ghost_pos[sel]
+        # GhostWrite receive side: global node id -> position in `owned`,
+        # valid for any masked subset a peer chooses to push.
+        plan.owned_lookup = np.full(self.mesh.n_nodes, -1, dtype=np.int64)
+        plan.owned_lookup[self.owned] = np.arange(len(self.owned))
+        return plan
 
     # ------------------------------------------------------------- fields
 
@@ -74,7 +139,7 @@ class DistributedField:
         """Owned-node slice of a (replicated) global node vector."""
         return node_values[self.owned].copy()
 
-    def to_global(self, owned_values: np.ndarray, comm_gather: bool = True):
+    def to_global(self, owned_values: np.ndarray) -> np.ndarray:
         """Allgather owned slices into the full global vector (diagnostics)."""
         pieces = self.comm.allgather((self.owned, owned_values))
         out = np.zeros(self.mesh.n_nodes)
@@ -86,16 +151,16 @@ class DistributedField:
 
     def ghost_read(self, owned_values: np.ndarray) -> np.ndarray:
         """Values over all `needed` nodes: owned locally, ghosts fetched."""
+        plan = self.plan
         outgoing = {
-            q: (ids, owned_values[np.searchsorted(self.owned, ids)])
-            for q, ids in self.send_map.items()
+            q: (ids, owned_values[plan.send_pos[q]])
+            for q, ids in plan.send_ids.items()
         }
         incoming = nbx_exchange(self.comm, outgoing)
         full = np.zeros(len(self.needed))
-        own_pos = np.searchsorted(self.needed, self.owned)
-        full[own_pos] = owned_values
-        for _, (ids, vals) in incoming.items():
-            full[np.searchsorted(self.needed, ids)] = vals
+        full[plan.own_pos] = owned_values
+        for q, (_, vals) in incoming.items():
+            full[plan.recv_needed_pos[q]] = vals
         return full
 
     def ghost_write(
@@ -112,21 +177,20 @@ class DistributedField:
         identical inserts are consistent, the paper's remark).  For inserts
         ``push_mask`` (over `needed`) must mark the nodes actually written —
         unwritten ghosts carry stale reads and must not travel."""
-        ghost_pos = np.searchsorted(self.needed, self.ghosts)
+        plan = self.plan
         outgoing = {}
-        by_owner: dict[int, list] = {}
-        for g, pos in zip(self.ghosts, ghost_pos):
-            if push_mask is not None and not push_mask[pos]:
-                continue
-            by_owner.setdefault(int(self.node_owner[g]), []).append((g, pos))
-        for q, pairs in by_owner.items():
-            ids = np.array([g for g, _ in pairs], dtype=np.int64)
-            vals = needed_values[[p for _, p in pairs]]
-            outgoing[q] = (ids, vals)
+        for q, pos in plan.ghost_pos_by_owner.items():
+            ids = plan.ghost_ids_by_owner[q]
+            if push_mask is not None:
+                sel = push_mask[pos]
+                if not np.any(sel):
+                    continue
+                ids, pos = ids[sel], pos[sel]
+            outgoing[q] = (ids, needed_values[pos])
         incoming = nbx_exchange(self.comm, outgoing)
         out = owned_values.copy()
         for _, (ids, vals) in incoming.items():
-            pos = np.searchsorted(self.owned, ids)
+            pos = plan.owned_lookup[ids]
             if mode == "add":
                 np.add.at(out, pos, vals)
             else:
@@ -145,8 +209,7 @@ class DistributedField:
         ve = np.einsum("eij,ej->ei", Ke, ue)
         acc = np.zeros(len(self.needed))
         np.add.at(acc, self.local_conn.ravel(), ve.ravel())
-        own_pos = np.searchsorted(self.needed, self.owned)
-        local_part = acc[own_pos]
+        local_part = acc[self.plan.own_pos]
         return self.ghost_write(acc, local_part, mode="add")
 
     def matvec_matrix_free(
@@ -173,8 +236,7 @@ class DistributedField:
         for conn, he in zip(self.local_conn, h):
             Ke = stiffness_matrix(he[None], dim, coeff)[0]
             acc[conn] += Ke @ nv[conn]
-        own_pos = np.searchsorted(self.needed, self.owned)
-        return self.ghost_write(acc, acc[own_pos], mode="add")
+        return self.ghost_write(acc, acc[self.plan.own_pos], mode="add")
 
     def erode_dilate_step(
         self,
@@ -202,6 +264,5 @@ class DistributedField:
             idx = self.local_conn[trigger].ravel()
             new_nv[idx] = val
             written[idx] = True
-        own_pos = np.searchsorted(self.needed, self.owned)
-        owned_new = new_nv[own_pos]
+        owned_new = new_nv[self.plan.own_pos]
         return self.ghost_write(new_nv, owned_new, mode="insert", push_mask=written)

@@ -7,6 +7,7 @@ boundary masks, and field sampling.
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Optional
 
 import numpy as np
@@ -18,7 +19,16 @@ from .nodes import NodeTable, enumerate_nodes
 
 
 class Mesh:
-    """FEM view of a balanced linear octree over the unit cube."""
+    """FEM view of a balanced linear octree over the unit cube.
+
+    Every ``Mesh`` instance carries a process-unique ``generation`` token.
+    Symbolic plans precomputed against a mesh (``repro.fem.plan``, the
+    ghost-exchange schedules in ``repro.mesh.distributed``) are keyed on it:
+    an AMR remesh builds a *new* ``Mesh`` with a new generation, so every
+    cached plan bound to the old topology invalidates cleanly.
+    """
+
+    _generation_counter = itertools.count()
 
     def __init__(self, tree: Octree, *, check_balance: bool = True):
         if check_balance and not is_balanced(tree):
@@ -27,6 +37,8 @@ class Mesh:
         self.dim = tree.dim
         self.nodes: NodeTable = enumerate_nodes(tree)
         self._scale = float(1 << morton.MAX_DEPTH)
+        self.generation = next(Mesh._generation_counter)
+        self._elem_h: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------- factory
 
@@ -59,8 +71,15 @@ class Mesh:
         return self.nodes.coords[self.nodes.node_of_dof] / self._scale
 
     def elem_h(self) -> np.ndarray:
-        """Element side lengths in unit-cube units, shape (n_elems,)."""
-        return self.tree.sizes().astype(np.float64) / self._scale
+        """Element side lengths in unit-cube units, shape (n_elems,).
+
+        Cached: the octree backing a ``Mesh`` never mutates (adaptation
+        builds a new ``Mesh``), and this array feeds every elemental-operator
+        evaluation in the solver hot path.
+        """
+        if self._elem_h is None:
+            self._elem_h = self.tree.sizes().astype(np.float64) / self._scale
+        return self._elem_h
 
     def elem_centers(self) -> np.ndarray:
         return self.tree.centers() / self._scale

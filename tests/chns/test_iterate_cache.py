@@ -1,0 +1,106 @@
+"""Per-iterate operator cache in the CH block: residual + jacobian at the
+same Newton iterate must share one mobility-stiffness assembly and one
+quad-point phi evaluation, instead of assembling each twice."""
+
+import numpy as np
+import pytest
+
+from repro.chns.ch_solver import CHSolver
+from repro.chns.params import CHNSParams
+from repro.la.newton import IterateCache
+from repro.mesh.mesh import Mesh
+from repro.octree.build import uniform_tree
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh.from_tree(uniform_tree(2, 3))
+
+
+@pytest.fixture()
+def solver(mesh):
+    return CHSolver(mesh, CHNSParams(Cn=0.05, Pe=100.0, Re=10.0))
+
+
+def drop(mesh):
+    x = mesh.dof_xy()
+    return np.tanh(
+        (0.25 - np.linalg.norm(x - 0.5, axis=1)) / (np.sqrt(2) * 0.05)
+    )
+
+
+class TestIterateCache:
+    def test_same_iterate_shares_value(self):
+        cache = IterateCache()
+        x = np.arange(5.0)
+        calls = []
+        v1 = cache.get(x, "k", lambda: calls.append(1) or 42)
+        v2 = cache.get(x.copy(), "k", lambda: calls.append(1) or 43)
+        assert v1 == v2 == 42 and len(calls) == 1
+
+    def test_new_iterate_invalidates(self):
+        cache = IterateCache()
+        x = np.arange(5.0)
+        assert cache.get(x, "k", lambda: 1) == 1
+        assert cache.get(x + 1e-16, "k", lambda: 2) == 2  # any change counts
+        assert cache.get(x, "other", lambda: 3) == 3  # and clears all keys
+        assert cache.get(x, "k", lambda: 4) == 4
+
+
+class TestCHOperatorSharing:
+    def test_one_mobility_assembly_per_iterate(self, mesh, solver):
+        """The acceptance counter: residual + jacobian at one iterate =
+        exactly one mobility-stiffness assembly, one phi quad evaluation."""
+        phi = drop(mesh)
+        mu = solver.initial_mu(phi)
+        residual, jacobian, _ = solver.operators(phi, mu, None, 1e-3)
+        x = np.concatenate([phi, mu])
+        before = dict(solver.counters)
+        residual(x)
+        jacobian(x)
+        assert solver.counters["mobility_assemblies"] - before["mobility_assemblies"] == 1
+        assert solver.counters["phi_quad_evals"] - before["phi_quad_evals"] == 1
+
+        # A genuinely new iterate assembles again — the cache is per-iterate,
+        # not stale across the Newton trajectory.
+        x2 = x.copy()
+        x2[: mesh.n_dofs] *= 0.9
+        residual(x2)
+        assert solver.counters["mobility_assemblies"] - before["mobility_assemblies"] == 2
+
+    def test_full_solve_assembles_only_on_residual_iterates(self, mesh, solver):
+        """Across a whole Newton solve the jacobian calls piggyback on the
+        residual's assemblies: total mobility assemblies == residual evals
+        (each at a distinct iterate), never residual + jacobian evals."""
+        phi = drop(mesh)
+        mu = solver.initial_mu(phi)
+        res = solver.solve(phi, mu, None, 1e-3)
+        assert res.newton.converged
+        c = solver.counters
+        assert c["jacobian_evals"] >= 1
+        assert c["mobility_assemblies"] == c["residual_evals"]
+        assert c["phi_quad_evals"] == c["residual_evals"]
+
+    def test_solution_unchanged_by_caching(self, mesh):
+        """Caching is an evaluation-sharing optimization only: the Newton
+        trajectory is identical to recomputing everything."""
+        prm = CHNSParams(Cn=0.05, Pe=100.0, Re=10.0)
+        phi = drop(mesh)
+        s1 = CHSolver(mesh, prm)
+        mu = s1.initial_mu(phi)
+        r1 = s1.solve(phi, mu, None, 1e-3)
+
+        s2 = CHSolver(mesh, prm)
+        s2._iterate = IterateCache()
+        # Defeat the cache by clearing it around every lookup.
+        orig_get = s2._iterate.get
+
+        def no_cache_get(x, key, build):
+            s2._iterate.clear()
+            return orig_get(x, key, build)
+
+        s2._iterate.get = no_cache_get
+        r2 = s2.solve(phi, mu, None, 1e-3)
+        assert np.array_equal(r1.phi, r2.phi)
+        assert np.array_equal(r1.mu, r2.mu)
+        assert s2.counters["mobility_assemblies"] > s1.counters["mobility_assemblies"]
