@@ -16,6 +16,14 @@ The assembly-plan section (symbolic/numeric split vs per-call COO assembly,
 written standalone to ``benchmarks/results/BENCH_PR2.json``; the run fails
 if the plan path is not >= 2x faster than the reference path on the quick
 problem size.
+
+The obs-phases section (``bench_obs_phases.py``) traces a distributed
+MATVEC and a short CHNS run through ``repro.obs`` on every backend, prints
+the per-phase timing table (ghost exchange, numeric assembly, Newton solve,
+remesh), and fails the run if the backends disagree on the span-tree
+signature or if disabled tracing costs more than 5% on the assembly hot
+path.  It drops a Chrome trace of the CHNS run into
+``benchmarks/results/obs_chns_trace.json``.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 import numpy as np
 
 import bench_assembly_plan
+import bench_obs_phases
 
 from repro.fem.operators import stiffness_matrix
 from repro.mesh.distributed import DistributedField
@@ -252,6 +261,9 @@ def main(argv=None) -> int:
     report["assembly_plan"] = bench_assembly_plan.run(args.quick)
     bench_assembly_plan.write_report(report["assembly_plan"], args.quick)
     print("  assembly_plan done")
+    report["obs_phases"] = bench_obs_phases.run(args.quick, backends)
+    bench_obs_phases.write_report(report["obs_phases"], args.quick)
+    print("  obs_phases done")
     report["meta"]["total_wall_s"] = round(time.perf_counter() - t0, 2)
 
     os.makedirs(os.path.dirname(args.output), exist_ok=True)
@@ -276,6 +288,24 @@ def main(argv=None) -> int:
     print(
         f"assembly plan: {ap_sec['gate_speedup']}x vs per-call COO on "
         f"{ap_sec['gate_mesh']}"
+    )
+    ob_sec = report["obs_phases"]
+    if not ob_sec["gate_passed"]:
+        print(
+            "ERROR: obs gates failed — span trees identical: "
+            f"matvec={ob_sec['signature_identical_matvec']} "
+            f"chns={ob_sec['signature_identical_chns']}, disabled overhead "
+            f"{ob_sec['overhead']['overhead_frac']:.1%} "
+            f"(gate {ob_sec['overhead']['gate']:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "obs phases (mean ms): "
+        + "  ".join(
+            f"{k.removesuffix('_s')}={v * 1e3:.2f}"
+            for k, v in ob_sec["phases"].items()
+        )
     )
     return 0
 

@@ -13,8 +13,9 @@ core   : the paper's local-Cahn region identification (Algorithms 1-4)
 chns   : Cahn-Hilliard Navier-Stokes two-block projection solver
 amr    : remeshing driver and checkpoint/restart
 perf   : calibrated machine/application performance models
+obs    : per-rank tracing/metrics (spans, counters, world-level reports)
 """
 
 __version__ = "1.0.0"
 
-from . import amr, chns, core, fem, io, la, mesh, mpi, octree, perf  # noqa: F401
+from . import amr, chns, core, fem, io, la, mesh, mpi, obs, octree, perf  # noqa: F401

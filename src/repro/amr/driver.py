@@ -16,6 +16,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.identifier import IdentifierConfig, IdentifierResult, identify_local_cahn
 from ..core.threshold import interface_elements, threshold_octree
 from ..mesh.intergrid import transfer_node_centered
@@ -80,38 +81,48 @@ def remesh(
     phi_name: str = "phi",
 ):
     """One adaptation cycle.  Returns ``(new_mesh, new_fields, info)``."""
-    phi = fields[phi_name]
-    ident = (
-        identify_local_cahn(mesh, phi, cfg.identifier)
-        if cfg.identifier is not None
-        else None
-    )
-    targets = compute_target_levels(mesh, phi, cfg, ident)
+    with obs.span("remesh"):
+        phi = fields[phi_name]
+        with obs.span("remesh.identify"):
+            ident = (
+                identify_local_cahn(mesh, phi, cfg.identifier)
+                if cfg.identifier is not None
+                else None
+            )
+            targets = compute_target_levels(mesh, phi, cfg, ident)
 
-    tree = mesh.tree
-    # Multi-level refinement where targets exceed current levels.
-    refined = refine(tree, np.maximum(tree.levels, targets))
-    n_refined = len(refined) - len(tree)
-    # Coarsening votes: map original targets onto the refined leaves.
-    orig = tree.locate_points(refined.centers().astype(np.int64))
-    votes = np.minimum(refined.levels, targets[orig])
-    coarsened = coarsen(refined, votes)
-    n_coarsened = len(refined) - len(coarsened)
-    balanced = balance(coarsened)
+        tree = mesh.tree
+        # Multi-level refinement where targets exceed current levels.
+        with obs.span("remesh.refine"):
+            refined = refine(tree, np.maximum(tree.levels, targets))
+        n_refined = len(refined) - len(tree)
+        # Coarsening votes: map original targets onto the refined leaves.
+        with obs.span("remesh.coarsen"):
+            orig = tree.locate_points(refined.centers().astype(np.int64))
+            votes = np.minimum(refined.levels, targets[orig])
+            coarsened = coarsen(refined, votes)
+        n_coarsened = len(refined) - len(coarsened)
+        with obs.span("remesh.balance"):
+            balanced = balance(coarsened)
 
-    new_mesh = Mesh(balanced, check_balance=False)
-    new_fields = {
-        name: transfer_node_centered(mesh, vec, new_mesh)
-        for name, vec in fields.items()
-    }
-    hist = np.bincount(balanced.levels, minlength=cfg.feature_level + 1)
-    info = RemeshInfo(
-        target_levels=targets,
-        n_refined=n_refined,
-        n_coarsened=n_coarsened,
-        identifier=ident,
-        level_histogram=hist,
-    )
+        with obs.span("remesh.transfer"):
+            new_mesh = Mesh(balanced, check_balance=False)
+            new_fields = {
+                name: transfer_node_centered(mesh, vec, new_mesh)
+                for name, vec in fields.items()
+            }
+        obs.incr("remesh.cycles")
+        obs.gauge("remesh.n_refined", n_refined)
+        obs.gauge("remesh.n_coarsened", n_coarsened)
+        obs.gauge("remesh.n_elems", new_mesh.n_elems)
+        hist = np.bincount(balanced.levels, minlength=cfg.feature_level + 1)
+        info = RemeshInfo(
+            target_levels=targets,
+            n_refined=n_refined,
+            n_coarsened=n_coarsened,
+            identifier=ident,
+            level_histogram=hist,
+        )
     return new_mesh, new_fields, info
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from .. import obs
 from ..fem.operators import value_at_quad
 from ..la.newton import IterateCache, NewtonResult, newton_solve
 from ..mesh.mesh import Mesh
@@ -62,6 +63,7 @@ class CHSolver:
     def _phi_at_quad(self, phi: np.ndarray) -> np.ndarray:
         def build():
             self.counters["phi_quad_evals"] += 1
+            obs.incr("ch.phi_quad_evals")
             return forms.field_at_quad(self.mesh, phi)
 
         return self._iterate.get(phi, "phi_q", build)
@@ -71,6 +73,7 @@ class CHSolver:
 
         def build():
             self.counters["mobility_assemblies"] += 1
+            obs.incr("ch.mobility_assemblies")
             return forms.stiffness(self.mesh, mobility(phi_q))
 
         return self._iterate.get(phi, "Km", build)

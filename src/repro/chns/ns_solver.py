@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from .. import obs
 from ..fem.assembly import apply_dirichlet
 from ..la.krylov import SolveResult, bicgstab
 from ..la.precond import JacobiPreconditioner
@@ -63,31 +64,32 @@ class NSSolver:
         mesh, prm = self.mesh, self.params
         dim = mesh.dim
 
-        phi_q = forms.field_at_quad(mesh, phi)
-        rho_q = prm.rho_clamped(phi_q)
-        eta_q = prm.eta_clamped(phi_q)
+        with obs.span("ns.assemble"):
+            phi_q = forms.field_at_quad(mesh, phi)
+            rho_q = prm.rho_clamped(phi_q)
+            eta_q = prm.eta_clamped(phi_q)
 
-        # Extrapolated advecting velocity (CN linearization).
-        v_star = 2.0 * vel_n - vel_nm1
-        vq = forms.field_at_quad(mesh, v_star)  # (e, q, dim)
-        # Diffusive mass flux J = J_coeff * m(phi) grad(mu) (paper Eq. 1),
-        # advected with coefficient 1/Pe.
-        grad_mu_q = forms.grad_at_quad(mesh, mu)
-        J_q = prm.J_coeff() * mobility(phi_q)[..., None] * grad_mu_q
-        adv_q = rho_q[..., None] * vq + (1.0 / prm.Pe) * J_q
+            # Extrapolated advecting velocity (CN linearization).
+            v_star = 2.0 * vel_n - vel_nm1
+            vq = forms.field_at_quad(mesh, v_star)  # (e, q, dim)
+            # Diffusive mass flux J = J_coeff * m(phi) grad(mu) (paper Eq. 1),
+            # advected with coefficient 1/Pe.
+            grad_mu_q = forms.grad_at_quad(mesh, mu)
+            J_q = prm.J_coeff() * mobility(phi_q)[..., None] * grad_mu_q
+            adv_q = rho_q[..., None] * vq + (1.0 / prm.Pe) * J_q
 
-        M_rho = forms.mass(mesh, rho_q)
-        C = forms.convection(mesh, v_star, rho_q)  # rho v* · grad
-        C_J = forms.convection_from_quad(mesh, (1.0 / prm.Pe) * J_q)
-        K_eta = forms.stiffness(mesh, eta_q)
+            M_rho = forms.mass(mesh, rho_q)
+            C = forms.convection(mesh, v_star, rho_q)  # rho v* · grad
+            C_J = forms.convection_from_quad(mesh, (1.0 / prm.Pe) * J_q)
+            K_eta = forms.stiffness(mesh, eta_q)
 
-        A_imp = (M_rho / dt + 0.5 * (C + C_J) + (0.5 / prm.Re) * K_eta).tocsr()
-        A_exp = (M_rho / dt - 0.5 * (C + C_J) - (0.5 / prm.Re) * K_eta).tocsr()
+            A_imp = (M_rho / dt + 0.5 * (C + C_J) + (0.5 / prm.Re) * K_eta).tocsr()
+            A_exp = (M_rho / dt - 0.5 * (C + C_J) - (0.5 / prm.Re) * K_eta).tocsr()
 
-        # Capillary force (Cn/We) div(grad phi ⊗ grad phi), by parts:
-        # F_i = -(Cn/We) ∫ (d_i phi) grad phi · grad N.
-        grad_phi_q = forms.grad_at_quad(mesh, phi)  # (e, q, dim)
-        grad_p_q = forms.grad_at_quad(mesh, p_n)
+            # Capillary force (Cn/We) div(grad phi ⊗ grad phi), by parts:
+            # F_i = -(Cn/We) ∫ (d_i phi) grad phi · grad N.
+            grad_phi_q = forms.grad_at_quad(mesh, phi)  # (e, q, dim)
+            grad_p_q = forms.grad_at_quad(mesh, p_n)
 
         vel_new = np.zeros_like(vel_n)
         solves = []

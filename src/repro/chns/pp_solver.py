@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..la.krylov import SolveResult, cg
 from ..la.precond import JacobiPreconditioner
 from ..mesh.mesh import Mesh
@@ -55,13 +56,14 @@ class PPSolver:
         tol: float = 1e-9,
     ) -> PPResult:
         mesh, prm = self.mesh, self.params
-        phi_q = forms.field_at_quad(mesh, phi)
-        inv_rho_q = 1.0 / prm.rho_clamped(phi_q)
-        K = forms.stiffness(mesh, inv_rho_q)
+        with obs.span("pp.assemble"):
+            phi_q = forms.field_at_quad(mesh, phi)
+            inv_rho_q = 1.0 / prm.rho_clamped(phi_q)
+            K = forms.stiffness(mesh, inv_rho_q)
 
-        vq = forms.field_at_quad(mesh, vel_star)  # (e, q, dim)
-        b = (prm.We / dt) * forms.flux_divergence_load(mesh, vq)
-        b -= b.mean()  # compatibility with the constant nullspace
+            vq = forms.field_at_quad(mesh, vel_star)  # (e, q, dim)
+            b = (prm.We / dt) * forms.flux_divergence_load(mesh, vq)
+            b -= b.mean()  # compatibility with the constant nullspace
 
         res = cg(
             K,

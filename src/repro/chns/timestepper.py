@@ -12,12 +12,12 @@ which the block solvers are reconstructed (operators depend on the mesh).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from .. import obs
 from ..amr.driver import RemeshConfig, remesh
 from ..mesh.mesh import Mesh
 from . import forms
@@ -111,53 +111,61 @@ class CHNSTimeStepper:
     # -------------------------------------------------------------- step
 
     def step(self, dt: float) -> StepTimers:
+        """One timestep.  Per-solver wall times land both in the returned
+        :class:`StepTimers` (the stable public surface) and — when
+        :mod:`repro.obs` tracing is enabled — in the span tree under
+        ``chns.step/{remesh,ch,ns,pp,vu}``: one measurement, two views."""
         timers = StepTimers()
-        if (
-            self.remesh_every
-            and self.remesh_config is not None
-            and self.step_count > 0
-            and self.step_count % self.remesh_every == 0
-        ):
-            t0 = time.perf_counter()
-            self._do_remesh()
-            timers.remesh += time.perf_counter() - t0
+        with obs.span("chns.step"):
+            if (
+                self.remesh_every
+                and self.remesh_config is not None
+                and self.step_count > 0
+                and self.step_count % self.remesh_every == 0
+            ):
+                with obs.stopwatch("chns.remesh") as sw:
+                    self._do_remesh()
+                timers.remesh += sw.elapsed
 
-        for _ in range(self.n_blocks):
-            t0 = time.perf_counter()
-            ch_res = self.ch.solve(self.phi, self.mu, self.vel, dt / self.n_blocks)
-            self.phi, self.mu = ch_res.phi, ch_res.mu
-            t1 = time.perf_counter()
-            ns_res = self.ns.solve(
-                self.phi,
-                self.mu,
-                self.vel,
-                self.vel_old,
-                self.p,
-                dt / self.n_blocks,
-                dirichlet_masks=self.v_masks,
-                dirichlet_values=self.v_values,
-            )
-            t2 = time.perf_counter()
-            pp_res = self.pp.solve(
-                self.phi, ns_res.vel_star, dt / self.n_blocks, p0=self.p
-            )
-            self.p = pp_res.p
-            t3 = time.perf_counter()
-            vu_res = self.vu.solve(
-                self.phi,
-                ns_res.vel_star,
-                self.p,
-                dt / self.n_blocks,
-                dirichlet_masks=self.v_masks,
-                dirichlet_values=self.v_values,
-            )
-            t4 = time.perf_counter()
-            self.vel_old = self.vel
-            self.vel = vu_res.vel
-            timers.ch += t1 - t0
-            timers.ns += t2 - t1
-            timers.pp += t3 - t2
-            timers.vu += t4 - t3
+            for _ in range(self.n_blocks):
+                with obs.stopwatch("chns.ch") as sw_ch:
+                    ch_res = self.ch.solve(
+                        self.phi, self.mu, self.vel, dt / self.n_blocks
+                    )
+                    self.phi, self.mu = ch_res.phi, ch_res.mu
+                with obs.stopwatch("chns.ns") as sw_ns:
+                    ns_res = self.ns.solve(
+                        self.phi,
+                        self.mu,
+                        self.vel,
+                        self.vel_old,
+                        self.p,
+                        dt / self.n_blocks,
+                        dirichlet_masks=self.v_masks,
+                        dirichlet_values=self.v_values,
+                    )
+                with obs.stopwatch("chns.pp") as sw_pp:
+                    pp_res = self.pp.solve(
+                        self.phi, ns_res.vel_star, dt / self.n_blocks, p0=self.p
+                    )
+                    self.p = pp_res.p
+                with obs.stopwatch("chns.vu") as sw_vu:
+                    vu_res = self.vu.solve(
+                        self.phi,
+                        ns_res.vel_star,
+                        self.p,
+                        dt / self.n_blocks,
+                        dirichlet_masks=self.v_masks,
+                        dirichlet_values=self.v_values,
+                    )
+                self.vel_old = self.vel
+                self.vel = vu_res.vel
+                timers.ch += sw_ch.elapsed
+                timers.ns += sw_ns.elapsed
+                timers.pp += sw_pp.elapsed
+                timers.vu += sw_vu.elapsed
+            obs.incr("chns.steps")
+            obs.gauge("chns.n_elems", self.mesh.n_elems)
 
         self.step_count += 1
         self.timers += timers

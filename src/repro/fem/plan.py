@@ -39,6 +39,7 @@ from collections import OrderedDict
 import numpy as np
 import scipy.sparse as sp
 
+from .. import obs
 from ..mesh.mesh import Mesh
 
 #: Numeric-update counters, cumulative per process: how many times each plan
@@ -74,6 +75,12 @@ class AssemblyPlan:
     """
 
     def __init__(self, mesh: Mesh):
+        with obs.span("assembly.symbolic"):
+            self._build(mesh)
+        STATS["symbolic"] += 1
+        obs.incr("assembly.symbolic")
+
+    def _build(self, mesh: Mesh) -> None:
         self.generation = int(mesh.generation)
         self.n_dofs = int(mesh.n_dofs)
         en = mesh.nodes.elem_nodes
@@ -119,7 +126,6 @@ class AssemblyPlan:
         )
         self.indices = proto.indices
         self.indptr = proto.indptr
-        STATS["symbolic"] += 1
 
     # ------------------------------------------------------------- numeric
 
@@ -141,9 +147,11 @@ class AssemblyPlan:
             raise ValueError(
                 f"Ke shape {Ke.shape} does not match plan {self.ke_shape}"
             )
-        vals = Ke.ravel()[self._src] * self._weight
-        data = np.bincount(self._slot, weights=vals, minlength=self.nnz)
+        with obs.span("assembly.numeric"):
+            vals = Ke.ravel()[self._src] * self._weight
+            data = np.bincount(self._slot, weights=vals, minlength=self.nnz)
         STATS["numeric"] += 1
+        obs.incr("assembly.numeric")
         # Assign the precomputed structure directly: the validating
         # constructor copies index arrays (scipy >= 1.17), which would break
         # both the zero-copy contract and the structure-sharing property the

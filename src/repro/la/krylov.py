@@ -16,6 +16,8 @@ from typing import Callable, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from .. import obs
+
 
 def _as_matvec(A) -> Callable[[np.ndarray], np.ndarray]:
     if sp.issparse(A):
@@ -49,6 +51,14 @@ def cg(
     maxiter: int = 1000,
 ) -> SolveResult:
     """Preconditioned conjugate gradients (SPD systems)."""
+    with obs.span("krylov.cg"):
+        res = _cg_body(A, b, x0, M, tol, maxiter)
+    obs.incr("krylov.solves")
+    obs.incr("krylov.iterations", res.iterations)
+    return res
+
+
+def _cg_body(A, b, x0, M, tol, maxiter) -> SolveResult:
     mv = _as_matvec(A)
     pc = _as_matvec(M) if M is not None else (lambda r: r)
     x = np.zeros_like(b) if x0 is None else x0.copy()
@@ -98,9 +108,13 @@ def bicgstab(
     # the non-converged result, so the intermediate warnings are noise.
     _old_err = np.seterr(over="ignore", invalid="ignore")
     try:
-        return _bicgstab_body(mv, pc, x, r, r0, bnorm_of(b), tol, maxiter, b)
+        with obs.span("krylov.bicgstab"):
+            res = _bicgstab_body(mv, pc, x, r, r0, bnorm_of(b), tol, maxiter, b)
     finally:
         np.seterr(**_old_err)
+    obs.incr("krylov.solves")
+    obs.incr("krylov.iterations", res.iterations)
+    return res
 
 
 def bnorm_of(b: np.ndarray) -> float:
@@ -158,6 +172,14 @@ def gmres(
     maxiter: int = 2000,
 ) -> SolveResult:
     """Restarted GMRES with left preconditioning."""
+    with obs.span("krylov.gmres"):
+        res = _gmres_body(A, b, x0, M, tol, restart, maxiter)
+    obs.incr("krylov.solves")
+    obs.incr("krylov.iterations", res.iterations)
+    return res
+
+
+def _gmres_body(A, b, x0, M, tol, restart, maxiter) -> SolveResult:
     mv = _as_matvec(A)
     pc = _as_matvec(M) if M is not None else (lambda r: r)
     x = np.zeros_like(b) if x0 is None else x0.copy()

@@ -20,6 +20,7 @@ from typing import Callable, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from .. import obs
 from .krylov import bicgstab, gmres
 from .precond import JacobiPreconditioner
 
@@ -87,8 +88,19 @@ def newton_solve(
     remaining iterations reuse the sparse-LU path directly instead of paying
     a doomed 4000-iteration Krylov attempt plus a factorization each time.
     """
+    with obs.span("newton"):
+        return _newton_body(
+            residual, jacobian, x0, tol, rtol, maxiter, linear_tol,
+            damping, solver,
+        )
+
+
+def _newton_body(
+    residual, jacobian, x0, tol, rtol, maxiter, linear_tol, damping, solver
+) -> NewtonResult:
     x = x0.copy()
-    F = residual(x)
+    with obs.span("newton.residual"):
+        F = residual(x)
     norm_F = float(np.linalg.norm(F))
     norm0 = norm_F
     if norm0 < tol:
@@ -96,24 +108,31 @@ def newton_solve(
     lin = bicgstab if solver == "bicgstab" else gmres
     lu_fallbacks = 0
     for it in range(1, maxiter + 1):
-        J = jacobian(x).tocsr()
-        if solver == "lu" or lu_fallbacks >= 2:
-            dx = sp.linalg.splu(J.tocsc()).solve(-F)
-        else:
-            M = JacobiPreconditioner(J)
-            res = lin(J, -F, M=M, tol=linear_tol, maxiter=4000)
-            dx = res.x
-            if not res.converged or not np.all(np.isfinite(dx)):
-                # Krylov stagnated on a badly scaled Jacobian (the mixed
-                # phi/mu block is saddle-like): sparse-LU fallback.
+        obs.incr("newton.iterations")
+        with obs.span("newton.jacobian"):
+            J = jacobian(x).tocsr()
+        with obs.span("newton.linear"):
+            if solver == "lu" or lu_fallbacks >= 2:
+                obs.incr("newton.lu_solves")
                 dx = sp.linalg.splu(J.tocsc()).solve(-F)
-                lu_fallbacks += 1
+            else:
+                M = JacobiPreconditioner(J)
+                res = lin(J, -F, M=M, tol=linear_tol, maxiter=4000)
+                dx = res.x
+                if not res.converged or not np.all(np.isfinite(dx)):
+                    # Krylov stagnated on a badly scaled Jacobian (the mixed
+                    # phi/mu block is saddle-like): sparse-LU fallback.
+                    obs.incr("newton.lu_fallbacks")
+                    dx = sp.linalg.splu(J.tocsc()).solve(-F)
+                    lu_fallbacks += 1
         # Backtracking line search on the residual norm (computed once per
         # trial; the reference norm is hoisted out of the loop).
         step = damping
         for _ in range(8):
+            obs.incr("newton.line_search_trials")
             x_new = x + step * dx
-            F_new = residual(x_new)
+            with obs.span("newton.residual"):
+                F_new = residual(x_new)
             norm_new = float(np.linalg.norm(F_new))
             if norm_new < (1.0 - 0.1 * step) * norm_F or step < 1e-3:
                 break

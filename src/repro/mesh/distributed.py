@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..mpi.comm import Comm
 from ..mpi.sparse_exchange import nbx_exchange
 from .mesh import Mesh
@@ -100,7 +101,8 @@ class DistributedField:
             {int(q) for q in np.unique(self.node_owner[self.ghosts])}
         )
 
-        self.plan = self._build_exchange_plan()
+        with obs.span("ghost.plan_build"):
+            self.plan = self._build_exchange_plan()
 
     def _build_exchange_plan(self) -> ExchangePlan:
         """Symbolic phase of the ghost exchange: all per-call index maps."""
@@ -152,16 +154,18 @@ class DistributedField:
     def ghost_read(self, owned_values: np.ndarray) -> np.ndarray:
         """Values over all `needed` nodes: owned locally, ghosts fetched."""
         plan = self.plan
-        outgoing = {
-            q: (ids, owned_values[plan.send_pos[q]])
-            for q, ids in plan.send_ids.items()
-        }
-        incoming = nbx_exchange(self.comm, outgoing)
-        full = np.zeros(len(self.needed))
-        full[plan.own_pos] = owned_values
-        for q, (_, vals) in incoming.items():
-            full[plan.recv_needed_pos[q]] = vals
-        return full
+        with obs.span("ghost.read"):
+            obs.incr("ghost.reads")
+            outgoing = {
+                q: (ids, owned_values[plan.send_pos[q]])
+                for q, ids in plan.send_ids.items()
+            }
+            incoming = nbx_exchange(self.comm, outgoing)
+            full = np.zeros(len(self.needed))
+            full[plan.own_pos] = owned_values
+            for q, (_, vals) in incoming.items():
+                full[plan.recv_needed_pos[q]] = vals
+            return full
 
     def ghost_write(
         self,
@@ -178,24 +182,30 @@ class DistributedField:
         ``push_mask`` (over `needed`) must mark the nodes actually written —
         unwritten ghosts carry stale reads and must not travel."""
         plan = self.plan
-        outgoing = {}
-        for q, pos in plan.ghost_pos_by_owner.items():
-            ids = plan.ghost_ids_by_owner[q]
-            if push_mask is not None:
-                sel = push_mask[pos]
-                if not np.any(sel):
-                    continue
-                ids, pos = ids[sel], pos[sel]
-            outgoing[q] = (ids, needed_values[pos])
-        incoming = nbx_exchange(self.comm, outgoing)
-        out = owned_values.copy()
-        for _, (ids, vals) in incoming.items():
-            pos = plan.owned_lookup[ids]
-            if mode == "add":
-                np.add.at(out, pos, vals)
-            else:
-                out[pos] = vals
-        return out
+        with obs.span("ghost.write"):
+            obs.incr("ghost.writes")
+            outgoing = {}
+            for q, pos in plan.ghost_pos_by_owner.items():
+                ids = plan.ghost_ids_by_owner[q]
+                if push_mask is not None:
+                    sel = push_mask[pos]
+                    if not np.any(sel):
+                        continue
+                    ids, pos = ids[sel], pos[sel]
+                outgoing[q] = (ids, needed_values[pos])
+            incoming = nbx_exchange(self.comm, outgoing)
+            out = owned_values.copy()
+            # Sorted peer order: NBX delivery order is schedule-dependent,
+            # and float accumulation does not commute bitwise — fixing the
+            # reduction order makes results identical across backends.
+            for q in sorted(incoming):
+                ids, vals = incoming[q]
+                pos = plan.owned_lookup[ids]
+                if mode == "add":
+                    np.add.at(out, pos, vals)
+                else:
+                    out[pos] = vals
+            return out
 
     # ------------------------------------------------------------ kernels
 

@@ -27,6 +27,7 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from .stats import CommStats, payload_bytes
 
 ANY_SOURCE = -1
@@ -69,16 +70,21 @@ class Comm:
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         if not 0 <= dest < self.size:
             raise ValueError(f"bad dest {dest}")
-        self._world.stats.record_p2p(payload_bytes(obj))
-        self._world.post(dest, self.rank, tag, obj)
+        nbytes = payload_bytes(obj)
+        self._world.stats.record_p2p(nbytes)
+        obs.incr("comm.send_bytes", nbytes)
+        with obs.span("comm.send"):
+            self._world.post(dest, self.rank, tag, obj)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
-        _, _, payload = self._world.wait_recv(self.rank, source, tag)
+        with obs.span("comm.recv"):
+            _, _, payload = self._world.wait_recv(self.rank, source, tag)
         return payload
 
     def recv_with_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Like :meth:`recv` but returns ``(payload, source, tag)``."""
-        s, t, payload = self._world.wait_recv(self.rank, source, tag)
+        with obs.span("comm.recv"):
+            s, t, payload = self._world.wait_recv(self.rank, source, tag)
         return payload, s, t
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
@@ -97,7 +103,8 @@ class Comm:
 
     def barrier(self) -> None:
         self._world.stats.record_barrier()
-        self._world.exchange(self.rank, None, lambda xs: None)
+        with obs.span("comm.barrier"):
+            self._world.exchange(self.rank, None, lambda xs: None)
 
     def ibarrier(self, key: int = 0) -> "_IBarrier":
         """Non-blocking barrier used by the NBX sparse exchange."""
@@ -105,8 +112,12 @@ class Comm:
         return _IBarrier(self._world, self.rank, key)
 
     def _collective(self, value: Any, combine: Callable[[list], Any]) -> Any:
-        self._world.stats.record_collective(payload_bytes(value))
-        return self._world.exchange(self.rank, value, combine)
+        nbytes = payload_bytes(value)
+        self._world.stats.record_collective(nbytes)
+        obs.incr("comm.collective_bytes", nbytes)
+        # Wait time at the rendezvous: rank imbalance shows up here.
+        with obs.span("comm.collective"):
+            return self._world.exchange(self.rank, value, combine)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         return self._collective(
@@ -270,6 +281,11 @@ def run_spmd(
     the ``REPRO_SPMD_BACKEND`` environment variable decides.  ``timeout``
     defaults to ``REPRO_SPMD_TIMEOUT`` seconds (else 120).  All backends
     meter traffic into ``stats`` identically.
+
+    When the calling thread has :mod:`repro.obs` tracing enabled, every rank
+    runs under its own tracer and the per-rank snapshots ride home on the
+    result transport; read them afterwards via ``obs.last_spmd_traces()`` /
+    ``obs.last_spmd_report()``.
     """
     # Imported lazily: repro.runtime's backends import Comm from this module.
     from repro.runtime import resolve_backend, resolve_timeout
@@ -277,4 +293,19 @@ def run_spmd(
     b = resolve_backend(backend)
     timeout_s = resolve_timeout(timeout)
     stats = stats if stats is not None else CommStats()
-    return b.run(nprocs, fn, args, timeout_s, stats)
+    if not obs.rank_armed():
+        return b.run(nprocs, fn, args, timeout_s, stats)
+    results = b.run(nprocs, _traced_rank, (fn,) + args, timeout_s, stats)
+    obs._set_last_spmd([snap for _, snap in results])
+    return [res for res, _ in results]
+
+
+def _traced_rank(comm: "Comm", fn: Callable[..., Any], *args: Any):
+    """Rank wrapper installed by a traced ``run_spmd``: fresh per-rank
+    tracer, snapshot shipped back alongside the user result."""
+    obs.begin_rank()
+    try:
+        result = fn(comm, *args)
+    finally:
+        snap = obs.end_rank()
+    return result, snap

@@ -10,28 +10,49 @@ measured message counts and byte volumes.
 from __future__ import annotations
 
 import pickle
+import sys
 import threading
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 
 def payload_bytes(obj) -> int:
-    """Wire size of a message payload (ndarray fast path, pickle fallback)."""
+    """Wire size of a message payload (ndarray fast path, pickle fallback).
+
+    Scalar sizing is width-aware: NumPy scalars report their true itemsize
+    (``np.float32`` is 4 bytes, not 8), booleans are 1 byte, and native
+    Python int/float count as the 8-byte machine words MPI would ship.
+    Unpicklable payloads fall back to a ``sys.getsizeof`` estimate with a
+    warning — never a silent constant — so miscounted traffic is visible in
+    the runs that feed the performance model.
+    """
     if isinstance(obj, np.ndarray):
         return obj.nbytes
     if isinstance(obj, (tuple, list)) and all(
         isinstance(x, np.ndarray) for x in obj
     ):
         return sum(x.nbytes for x in obj)
-    if isinstance(obj, (int, float, np.integer, np.floating)):
+    if isinstance(obj, np.generic):  # any NumPy scalar, incl. np.bool_
+        return obj.nbytes
+    if isinstance(obj, bool):  # before int: bool is a subclass
+        return 1
+    if isinstance(obj, (int, float)):
         return 8
     if obj is None:
         return 0
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:  # pragma: no cover - unpicklable sentinel objects
-        return 64
+    except Exception as exc:
+        size = sys.getsizeof(obj, 64)
+        warnings.warn(
+            f"payload_bytes: unpicklable payload {type(obj).__name__} "
+            f"({exc!r}); estimating {size} bytes via sys.getsizeof",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return size
 
 
 @dataclass

@@ -1,0 +1,74 @@
+"""Exporters: per-phase JSON and Chrome ``chrome://tracing`` format.
+
+The Chrome trace is the standard ``traceEvents`` JSON (complete ``"X"``
+events): load it at ``chrome://tracing`` or https://ui.perfetto.dev.  Each
+simulated rank becomes one ``tid`` so the per-rank timelines stack, and the
+wall-clock origin of every rank is shifted to its own trace epoch (the
+ranks' ``perf_counter`` bases are not comparable across OS processes).
+
+Event recording must be on (``obs.enable(events=True)``) for the Chrome
+export; span aggregates and counters are always available.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+from .report import WorldReport
+
+
+def to_json(report: WorldReport, path: Optional[str] = None) -> str:
+    """Serialize a world report (per-phase stats + counters) to JSON."""
+    text = json.dumps(report.to_dict(), indent=2)
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(text)
+    return text
+
+
+def chrome_trace_events(
+    snapshots: Sequence[dict], *, pid: int = 0
+) -> list[dict]:
+    """Chrome ``traceEvents`` list from per-rank snapshots (rank = tid)."""
+    events: list[dict] = []
+    for rank, snap in enumerate(snapshots):
+        if snap is None or not snap.get("events"):
+            continue
+        for name, depth, start_s, dur_s in snap["events"]:
+            events.append(
+                {
+                    "name": name,
+                    "cat": f"depth{depth}",
+                    "ph": "X",
+                    "ts": round(start_s * 1e6, 3),  # microseconds
+                    "dur": round(dur_s * 1e6, 3),
+                    "pid": pid,
+                    "tid": rank,
+                }
+            )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    return events
+
+
+def to_chrome_trace(
+    snapshots: Sequence[dict], path: Optional[str] = None, *, pid: int = 0
+) -> str:
+    """Write per-rank snapshots as a ``chrome://tracing`` JSON document."""
+    doc = {
+        "traceEvents": chrome_trace_events(snapshots, pid=pid),
+        "displayTimeUnit": "ms",
+    }
+    text = json.dumps(doc)
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(text)
+    return text

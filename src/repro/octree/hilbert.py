@@ -88,6 +88,29 @@ def hilbert_index_single(cell: np.ndarray, level: int, dim: int) -> int:
     return h
 
 
+def hilbert_index_inverse(h: int, level: int, dim: int) -> np.ndarray:
+    """Inverse of :func:`hilbert_index_single`: the per-axis cell coords in
+    ``[0, 2**level)`` of the cell with Hilbert rank ``h`` at ``level``.
+
+    Runs the same per-level frame recursion as the forward transform, but
+    un-ranks each ``dim``-bit digit (Gray-code then un-rotate) instead of
+    ranking it.
+    """
+    h = int(h)
+    x = [0] * dim
+    e = 0
+    d = 0
+    for lev in range(level - 1, -1, -1):
+        w = (h >> (dim * lev)) & ((1 << dim) - 1)
+        t = _gray(w)
+        l_bits = _rotate_left(t, d + 1, dim) ^ e
+        for axis in range(dim):
+            x[axis] |= ((l_bits >> axis) & 1) << lev
+        e = e ^ _rotate_left(_entry(w), d + 1, dim)
+        d = (d + _direction(w, dim) + 1) % dim
+    return np.array(x, dtype=np.int64)
+
+
 def hilbert_keys(anchors: np.ndarray, levels: np.ndarray, dim: int) -> np.ndarray:
     """Hilbert analogue of :func:`repro.octree.morton.keys`.
 

@@ -32,6 +32,40 @@ def fit_t_elem(n_elems: float, p: int, measured_time: float) -> float:
     return measured_time * p / n_elems
 
 
+def phase_profile(report, blocks=("ch", "ns", "pp", "vu", "remesh")) -> dict:
+    """Per-step mean seconds of each CHNS solver block, read off an
+    ``repro.obs`` :class:`~repro.obs.report.WorldReport` of a traced run.
+
+    The timestepper nests one span per block under ``chns.step`` and counts
+    steps in the ``chns.steps`` counter, so each block's mean inclusive time
+    divided by steps-per-rank is its per-step cost.  Blocks the run never
+    entered report 0.0.
+    """
+    steps = report.counter_total("chns.steps") / max(report.n_ranks, 1)
+    div = max(steps, 1.0)
+    return {
+        b: report.phase_seconds(f"chns.step/chns.{b}") / div for b in blocks
+    }
+
+
+def iter_profile_from_obs(report) -> dict:
+    """Measured iteration counts for :func:`paper_fig5_solvers` from obs
+    counters of a traced CHNS run: mean Krylov iterations per solve for the
+    linear blocks, and Newton (outer) iterations per step for CH — the
+    quantity its :class:`SolverCosts` profile scales with.  Empty dict when
+    the run recorded no solves (profile stays at paper defaults)."""
+    solves = report.counter_total("krylov.solves")
+    if not solves:
+        return {}
+    mean_krylov = report.counter_total("krylov.iterations") / solves
+    out = {k: mean_krylov for k in ("ns", "pp", "vu")}
+    steps = report.counter_total("chns.steps")
+    newton = report.counter_total("newton.iterations")
+    if steps and newton:
+        out["ch"] = newton / steps
+    return out
+
+
 @dataclass
 class SolverCosts:
     """Per-timestep Krylov profile of one solver block, measured from the

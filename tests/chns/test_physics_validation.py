@@ -13,6 +13,8 @@ from repro.chns.timestepper import CHNSTimeStepper, no_slip_bc
 from repro.mesh.mesh import Mesh
 from repro.octree.build import uniform_tree
 
+pytestmark = pytest.mark.slow  # multi-second CHNS runs throughout
+
 
 @pytest.fixture(scope="module")
 def mesh32():

@@ -236,6 +236,35 @@ class TestStats:
         assert payload_bytes([np.zeros(2), np.zeros(3)]) == 40
         assert payload_bytes({"a": 1}) > 0
 
+    def test_payload_bytes_width_aware_scalars(self):
+        # NumPy scalars count their true width, not a flat 8 bytes.
+        assert payload_bytes(np.float32(1.5)) == 4
+        assert payload_bytes(np.float64(1.5)) == 8
+        assert payload_bytes(np.int16(3)) == 2
+        assert payload_bytes(np.int64(3)) == 8
+        assert payload_bytes(np.uint8(3)) == 1
+        # Booleans are 1 byte (bool is a subclass of int — order matters).
+        assert payload_bytes(True) == 1
+        assert payload_bytes(np.bool_(False)) == 1
+        # Native Python numbers ship as 8-byte machine words.
+        assert payload_bytes(3.25) == 8
+
+    def test_payload_bytes_sparse_exchange_payloads(self):
+        # The (ids, values) tuples the NBX ghost exchange puts on the wire.
+        ids = np.arange(5, dtype=np.int64)
+        vals = np.ones(5, dtype=np.float64)
+        assert payload_bytes((ids, vals)) == 5 * 8 + 5 * 8
+        # Mixed widths still sum exactly.
+        assert payload_bytes((ids, vals.astype(np.float32))) == 40 + 20
+        # Empty arrays are free.
+        assert payload_bytes((np.empty(0, np.int64),)) == 0
+
+    def test_payload_bytes_unpicklable_warns_not_silent(self):
+        unpicklable = lambda: None  # noqa: E731 — local lambda can't pickle
+        with pytest.warns(RuntimeWarning, match="unpicklable"):
+            n = payload_bytes(unpicklable)
+        assert n > 0
+
     def test_counters_accumulate(self):
         stats = CommStats()
 

@@ -9,7 +9,9 @@ from repro.perf.model import (
     SolverCosts,
     fit_ghost_coeff,
     fit_t_elem,
+    iter_profile_from_obs,
     paper_fig5_solvers,
+    phase_profile,
 )
 
 
@@ -113,3 +115,48 @@ class TestApplicationModel:
         solvers = paper_fig5_solvers({"pp": 500})
         assert solvers["pp"].iterations == 500
         assert solvers["ns"].iterations == 90
+
+
+class TestObsCalibration:
+    """Span timings and counters from a traced run feed the Fig. 5 model."""
+
+    def _traced_report(self):
+        import time
+
+        from repro import obs
+
+        obs.begin_rank()
+        with obs.span("chns.step"):
+            with obs.span("chns.ch"):
+                time.sleep(0.002)
+            with obs.span("chns.pp"):
+                time.sleep(0.001)
+        obs.incr("chns.steps")
+        obs.incr("krylov.solves", 4)
+        obs.incr("krylov.iterations", 120)
+        obs.incr("newton.iterations", 5)
+        snap = obs.end_rank()
+        obs.disable()
+        return obs.world_report([snap])
+
+    def test_phase_profile_reads_step_spans(self):
+        prof = phase_profile(self._traced_report())
+        assert prof["ch"] >= 0.002
+        assert prof["pp"] >= 0.001
+        assert prof["ns"] == 0.0 and prof["remesh"] == 0.0
+
+    def test_iter_profile_from_obs(self):
+        prof = iter_profile_from_obs(self._traced_report())
+        assert prof["pp"] == pytest.approx(30.0)  # 120 iters / 4 solves
+        assert prof["ch"] == pytest.approx(5.0)  # Newton iters per step
+        # And it plugs straight into the Fig. 5 profile override.
+        solvers = paper_fig5_solvers(prof)
+        assert solvers["pp"].iterations == pytest.approx(30.0)
+
+    def test_iter_profile_empty_without_solves(self):
+        from repro import obs
+
+        obs.begin_rank()
+        snap = obs.end_rank()
+        obs.disable()
+        assert iter_profile_from_obs(obs.world_report([snap])) == {}

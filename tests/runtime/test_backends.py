@@ -339,6 +339,95 @@ class TestShmCodec:
         np.testing.assert_array_equal(out, view)
 
 
+class TestObsCrossBackend:
+    """The repro.obs tracing layer must be schedule-independent: identical
+    span trees and counter values on every backend (timings excluded)."""
+
+    def _traced_run(self, nprocs, fn, *args):
+        from repro import obs
+
+        out = {}
+        for name in BACKENDS:
+            with obs.tracing():
+                res = run_spmd(nprocs, fn, *args, timeout=120, backend=name)
+                report = obs.last_spmd_report()
+            out[name] = (res, report)
+        return out
+
+    def test_distributed_matvec_traces_identical(self):
+        from repro.fem.operators import mass_matrix, stiffness_matrix
+        from repro.mesh.distributed import DistributedField
+        from repro.mesh.mesh import Mesh
+        from repro.octree.build import uniform_tree
+
+        mesh = Mesh.from_tree(uniform_tree(2, 3))
+        Ke = stiffness_matrix(mesh.elem_h(), 2) + mass_matrix(mesh.elem_h(), 2)
+        u = np.random.default_rng(5).standard_normal(mesh.n_dofs)
+
+        def fn(comm):
+            df = DistributedField(comm, mesh)
+            out = df.matvec(Ke[df.elem_lo : df.elem_hi], df.from_global(u))
+            return df.to_global(out)
+
+        runs = self._traced_run(3, fn)
+        ref_name = BACKENDS[0]
+        ref_res, ref_report = runs[ref_name]
+        ref_sig = ref_report.span_tree_signature()
+        assert any(p.startswith("ghost.read") for p in ref_report.spans)
+        assert ref_report.counter_total("ghost.reads") == 3
+        for name, (res, report) in runs.items():
+            for r, rr in zip(res, ref_res):
+                np.testing.assert_array_equal(r, rr, err_msg=name)
+            assert report.span_tree_signature() == ref_sig, name
+
+    @pytest.mark.slow
+    def test_chns_step_remesh_traces_identical(self):
+        """One CHNS step + remesh per rank: bit-identical field state and
+        identical span trees / counters across serial, thread, process."""
+        from repro.amr.driver import RemeshConfig
+        from repro.chns.initial_conditions import drop
+        from repro.chns.params import CHNSParams
+        from repro.chns.timestepper import CHNSTimeStepper, no_slip_bc
+        from repro.mesh.mesh import mesh_from_field
+
+        prm = CHNSParams(Re=10.0, We=1.0, Pe=100.0, Cn=0.1)
+
+        def phi0(x):
+            return drop(x, (0.5, 0.5), 0.25, prm.Cn)
+
+        def fn(comm):
+            mesh = mesh_from_field(
+                phi0, 2, max_level=4, min_level=2, threshold=0.95
+            )
+            ts = CHNSTimeStepper(
+                mesh,
+                prm,
+                velocity_bc=no_slip_bc,
+                remesh_config=RemeshConfig(
+                    coarse_level=2, interface_level=4, feature_level=4
+                ),
+                remesh_every=1,
+            )
+            ts.initialize(phi0)
+            ts.step(1e-3)
+            ts.step(1e-3)  # triggers the remesh branch
+            return ts.phi, ts.p, ts.vel
+
+        runs = self._traced_run(2, fn)
+        ref_name = BACKENDS[0]
+        ref_res, ref_report = runs[ref_name]
+        ref_sig = ref_report.span_tree_signature()
+        paths = set(ref_report.spans)
+        assert "chns.step" in paths
+        assert "chns.step/chns.remesh/remesh/remesh.balance" in paths
+        assert ref_report.counter_total("chns.steps") == 2 * 2  # ranks*steps
+        for name, (res, report) in runs.items():
+            for rank_out, rank_ref in zip(res, ref_res):
+                for a, b in zip(rank_out, rank_ref):
+                    np.testing.assert_array_equal(a, b, err_msg=name)
+            assert report.span_tree_signature() == ref_sig, name
+
+
 def test_stats_merge():
     a = CommStats()
     a.record_p2p(10)

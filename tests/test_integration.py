@@ -30,6 +30,7 @@ from repro.octree.tree import Octree
 
 
 class TestFullAMRLoop:
+    @pytest.mark.slow
     def test_chns_with_amr_and_vtk(self, tmp_path):
         """Bubble rise with periodic remeshing, checkpoint, and VTK dump."""
         prm = CHNSParams(Re=40.0, We=2.0, Pe=100.0, Cn=0.08, Fr=1.0,
