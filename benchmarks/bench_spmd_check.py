@@ -1,0 +1,172 @@
+"""Cost of the REPRO_SPMD_CHECK runtime-checker hooks (PR 5).
+
+Every blocking collective on :class:`repro.mpi.comm.Comm` now calls into
+:func:`repro.analysis.runtime_check.verify_collective` before executing.
+With checks disabled (the default) that hook is a module lookup plus one
+predicate — this benchmark gates that the hook costs **< 5%** on a
+collective-dense workload, so the checkers are free to ship always-wired.
+
+Method (mirrors ``bench_obs_phases.measure_disabled_overhead``): the same
+SPMD program — a barrier/allreduce/allgather loop on the thread backend,
+transport-bound, the worst case for a per-collective hook — runs twice:
+
+* **raw**: ``Comm._verify`` replaced with a bound no-op, i.e. the pre-PR
+  call sequence;
+* **hooked**: the shipped code with checks disabled.
+
+Wall time is min-of-repeats with retries, because the gate compares two
+near-identical numbers under scheduler noise.  The enabled-mode cost
+(fingerprint rendezvous per collective, ``force_checks(True)``) is reported
+informationally — it is opt-in diagnostics, not a gated path.
+
+Artifacts: section in ``benchmarks/results/BENCH_PR5.json`` (standalone
+write) plus a text table collated into EXPERIMENTS.md; wired into
+``run_all.py`` (``--quick`` included), which fails if the gate does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.analysis.runtime_check import force_checks
+from repro.mpi.comm import Comm, run_spmd
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+OVERHEAD_GATE = 0.05  # disabled-mode hook must stay within 5%
+
+_NPROCS = 4
+
+
+def _collective_dense(comm, n_iters):
+    """Transport-bound loop: three collectives per iteration, tiny payloads,
+    so per-collective fixed costs dominate the measurement."""
+    acc = np.zeros(4)
+    for _ in range(n_iters):
+        comm.barrier()
+        acc = acc + comm.allreduce(np.full(4, 1.0 + comm.rank))
+        comm.allgather(comm.rank)
+    return float(acc.sum())
+
+
+def _one_sample(n_iters):
+    t0 = time.perf_counter()
+    run_spmd(_NPROCS, _collective_dense, n_iters, backend="thread",
+             timeout=300)
+    return time.perf_counter() - t0
+
+
+def _time_run(n_iters, repeats):
+    return min(_one_sample(n_iters) for _ in range(repeats))
+
+
+def run(quick: bool) -> dict:
+    n_iters = 150 if quick else 600
+    samples = 6 if quick else 10
+    n_collectives = 3 * n_iters * _NPROCS
+
+    saved_verify = Comm._verify
+
+    def _noop_verify(self, op, value, symmetric):
+        return None
+
+    # Warm both paths (imports, first-run allocation) before timing.
+    with force_checks(False):
+        _time_run(n_iters // 10 or 1, 1)
+
+    # The two configurations differ by one predicate per collective — far
+    # below scheduler noise on a single sample.  Samples alternate raw /
+    # hooked so load transients hit both sides equally, and the gate
+    # compares the best (least-perturbed) sample of each, with retry
+    # rounds on top for busy hosts (CI neighbors, the rest of run_all).
+    overhead = float("inf")
+    t_raw = t_hooked = float("inf")
+    for _ in range(3):  # timing-noise retries: gate on the best attempt
+        for _ in range(samples):
+            try:
+                Comm._verify = _noop_verify
+                t_raw = min(t_raw, _one_sample(n_iters))
+            finally:
+                Comm._verify = saved_verify
+            with force_checks(False):
+                t_hooked = min(t_hooked, _one_sample(n_iters))
+        overhead = t_hooked / t_raw - 1.0
+        if overhead < OVERHEAD_GATE:
+            break
+
+    with force_checks(True):
+        t_enabled = _time_run(n_iters, 2 if quick else 3)
+
+    out = {
+        "nprocs": _NPROCS,
+        "n_collectives": n_collectives,
+        "raw_wall_s": round(t_raw, 5),
+        "hooked_wall_s": round(t_hooked, 5),
+        "enabled_wall_s": round(t_enabled, 5),
+        "disabled_overhead_frac": round(overhead, 4),
+        "enabled_overhead_frac": round(t_enabled / t_raw - 1.0, 4),
+        "per_collective_enabled_us": round(
+            (t_enabled - t_raw) / n_collectives * 1e6, 2
+        ),
+        "gate": OVERHEAD_GATE,
+        "gate_passed": bool(overhead < OVERHEAD_GATE),
+    }
+    return out
+
+
+def write_report(section: dict, quick: bool) -> None:
+    from _report import format_table, report as text_report
+
+    rows = [
+        ("no hook (pre-PR 5)", f"{section['raw_wall_s'] * 1e3:.1f}", "baseline"),
+        (
+            "hook, checks disabled",
+            f"{section['hooked_wall_s'] * 1e3:.1f}",
+            f"{section['disabled_overhead_frac'] * 100:+.1f}%",
+        ),
+        (
+            "hook, REPRO_SPMD_CHECK=1",
+            f"{section['enabled_wall_s'] * 1e3:.1f}",
+            f"{section['enabled_overhead_frac'] * 100:+.1f}%",
+        ),
+    ]
+    body = (
+        format_table(["configuration", "wall ms", "vs baseline"], rows)
+        + f"\n\nworkload: {section['n_collectives']} collectives "
+        + f"(barrier+allreduce+allgather) across {section['nprocs']} ranks, "
+        + "thread backend"
+        + "\nenabled mode adds one fingerprint rendezvous per collective: "
+        + f"{section['per_collective_enabled_us']:.1f} us each (informational)"
+        + f"\ngate: disabled-mode overhead "
+        + f"{section['disabled_overhead_frac'] * 100:.1f}% < "
+        + f"{section['gate'] * 100:.0f}% "
+        + f"[{'PASS' if section['gate_passed'] else 'FAIL'}]"
+    )
+    text_report(
+        "spmd_check_overhead",
+        "runtime-checker hook cost on a collective-dense workload (PR 5)",
+        body,
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_PR5.json"), "w") as fh:
+        json.dump({"quick": quick, "spmd_check": section}, fh, indent=2)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    args = ap.parse_args(argv)
+    section = run(args.quick)
+    write_report(section, args.quick)
+    return 0 if section["gate_passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,7 @@ import numpy as np
 
 import bench_assembly_plan
 import bench_obs_phases
+import bench_spmd_check
 
 from repro.fem.operators import stiffness_matrix
 from repro.mesh.distributed import DistributedField
@@ -264,6 +265,9 @@ def main(argv=None) -> int:
     report["obs_phases"] = bench_obs_phases.run(args.quick, backends)
     bench_obs_phases.write_report(report["obs_phases"], args.quick)
     print("  obs_phases done")
+    report["spmd_check"] = bench_spmd_check.run(args.quick)
+    bench_spmd_check.write_report(report["spmd_check"], args.quick)
+    print("  spmd_check done")
     report["meta"]["total_wall_s"] = round(time.perf_counter() - t0, 2)
 
     os.makedirs(os.path.dirname(args.output), exist_ok=True)
@@ -306,6 +310,20 @@ def main(argv=None) -> int:
             f"{k.removesuffix('_s')}={v * 1e3:.2f}"
             for k, v in ob_sec["phases"].items()
         )
+    )
+    sc_sec = report["spmd_check"]
+    if not sc_sec["gate_passed"]:
+        print(
+            "ERROR: spmd-check hook overhead "
+            f"{sc_sec['disabled_overhead_frac']:.1%} exceeds the "
+            f"{sc_sec['gate']:.0%} gate with checks disabled",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"spmd check hook: {sc_sec['disabled_overhead_frac']:+.1%} disabled, "
+        f"{sc_sec['enabled_overhead_frac']:+.1%} enabled "
+        f"({sc_sec['per_collective_enabled_us']}us/collective)"
     )
     return 0
 

@@ -102,6 +102,7 @@ class Comm:
     # ----------------------------------------------------------- collectives
 
     def barrier(self) -> None:
+        self._verify("barrier", None, symmetric=True)
         self._world.stats.record_barrier()
         with obs.span("comm.barrier"):
             self._world.exchange(self.rank, None, lambda xs: None)
@@ -111,7 +112,25 @@ class Comm:
         self._world.ibarrier_arrive(self.rank, key)
         return _IBarrier(self._world, self.rank, key)
 
-    def _collective(self, value: Any, combine: Callable[[list], Any]) -> Any:
+    def _verify(self, op: str, value: Any, symmetric: bool) -> None:
+        """Cross-rank collective-matching check (``REPRO_SPMD_CHECK=1``).
+
+        Delegates to :mod:`repro.analysis.runtime_check`; the fast path when
+        checks are disabled is a single function call.  The fingerprint
+        rendezvous bypasses ``CommStats``, so counters are check-invariant.
+        """
+        from repro.analysis.runtime_check import verify_collective
+
+        verify_collective(self, op, value, symmetric)
+
+    def _collective(
+        self,
+        value: Any,
+        combine: Callable[[list], Any],
+        op: str = "collective",
+        symmetric: bool = False,
+    ) -> Any:
+        self._verify(op, value, symmetric)
         nbytes = payload_bytes(value)
         self._world.stats.record_collective(nbytes)
         obs.incr("comm.collective_bytes", nbytes)
@@ -121,19 +140,21 @@ class Comm:
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         return self._collective(
-            obj if self.rank == root else None, lambda xs: xs[root]
+            obj if self.rank == root else None, lambda xs: xs[root], op="bcast"
         )
 
     def gather(self, obj: Any, root: int = 0) -> Optional[list]:
-        all_ = self._collective(obj, list)
+        all_ = self._collective(obj, list, op="gather")
         return list(all_) if self.rank == root else None
 
     def allgather(self, obj: Any) -> list:
-        return list(self._collective(obj, list))
+        return list(self._collective(obj, list, op="allgather"))
 
     def scatter(self, objs: Optional[Sequence], root: int = 0) -> Any:
         all_ = self._collective(
-            list(objs) if self.rank == root else None, lambda xs: xs[root]
+            list(objs) if self.rank == root else None,
+            lambda xs: xs[root],
+            op="scatter",
         )
         return all_[self.rank]
 
@@ -150,12 +171,12 @@ class Comm:
                 acc = op(acc, x)
             return acc
 
-        return self._collective(obj, combine)
+        return self._collective(obj, combine, op="allreduce", symmetric=True)
 
     def scan(self, obj: Any, op: Callable = None) -> Any:
         """Inclusive prefix reduction."""
         op = op if op is not None else _sum_op
-        all_ = self._collective(obj, list)
+        all_ = self._collective(obj, list, op="scan", symmetric=True)
         acc = all_[0]
         for x in all_[1 : self.rank + 1]:
             acc = op(acc, x)
@@ -164,7 +185,7 @@ class Comm:
     def exscan(self, obj: Any, op: Callable = None) -> Any:
         """Exclusive prefix reduction (None/zero-like on rank 0)."""
         op = op if op is not None else _sum_op
-        all_ = self._collective(obj, list)
+        all_ = self._collective(obj, list, op="exscan", symmetric=True)
         if self.rank == 0:
             return None
         acc = all_[0]
@@ -175,7 +196,7 @@ class Comm:
     def alltoall(self, objs: Sequence) -> list:
         if len(objs) != self.size:
             raise ValueError("alltoall needs one item per rank")
-        matrix = self._collective(list(objs), list)
+        matrix = self._collective(list(objs), list, op="alltoall")
         return [matrix[src][self.rank] for src in range(self.size)]
 
     def alltoallv(self, arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
@@ -212,7 +233,7 @@ class Comm:
             # Everyone who cached it returns it without communication
             # (including a cached None from an undefined color).
             return cached
-        sub = self.split(color, key)
+        sub = self.split(color, key)  # spmdlint: ignore[R1] -- split_cached is itself collective: the cache is only populated by a prior collective call with the same (cache_tag, color, key), so hit/miss agrees on every rank and all ranks reach this split together
         self._world.set_attr(ck, sub)
         return sub
 

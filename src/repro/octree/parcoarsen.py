@@ -103,9 +103,12 @@ def par_coarsen(comm: Comm, local: Octree, votes: np.ndarray) -> Octree:
                 votes[send_next],
             )
         incoming = nbx_exchange(comm, outgoing)
-        pieces = [(anchors[keep], levels[keep], votes[keep])] + list(
-            incoming.values()
-        )
+        # Indexed by sorted source rank (spmdlint R2): exchange arrival order
+        # is schedule-dependent, and the stable argsort below preserves the
+        # concatenation order between equal morton keys.
+        pieces = [(anchors[keep], levels[keep], votes[keep])] + [
+            incoming[q] for q in sorted(incoming)
+        ]
         anchors = np.concatenate([p[0] for p in pieces])
         levels = np.concatenate([p[1] for p in pieces])
         votes = np.concatenate([p[2] for p in pieces])

@@ -50,6 +50,22 @@ BACKEND_ENV = "REPRO_SPMD_BACKEND"
 TIMEOUT_ENV = "REPRO_SPMD_TIMEOUT"
 
 
+def format_rank_states(states: dict[int, Optional[str]]) -> str:
+    """The per-rank "waiting on" table every backend emits on a deadlock
+    timeout — one line per rank, serial-backend style:
+
+        per-rank state:
+          rank 0: recv(source=1, tag=0) on comm of size 4
+          rank 1: running
+
+    ``states`` maps rank to a wait description (None/empty = running).
+    """
+    lines = ["per-rank state:"]
+    for r in sorted(states):
+        lines.append(f"  rank {r}: {states[r] or 'running'}")
+    return "\n".join(lines)
+
+
 class Backend:
     """Executes an SPMD program: ``fn(comm)`` on every rank of a world."""
 

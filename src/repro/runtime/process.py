@@ -28,7 +28,7 @@ import traceback
 from typing import Any, Callable
 
 from . import shm
-from .base import Backend
+from .base import Backend, format_rank_states
 from .thread import ANY_SOURCE, ANY_TAG
 
 _STATE_SLOT = 200  # bytes of last-known-state per rank
@@ -58,8 +58,9 @@ class _StateBoard:
         return raw.split(b"\x00", 1)[0].decode("utf-8", "replace")
 
     def dump(self) -> str:
-        return "\n".join(
-            f"  rank {r}: {self.get(r) or 'running'}" for r in range(self.nprocs)
+        """Serial-style structural table (deadlock reporter parity)."""
+        return format_rank_states(
+            {r: self.get(r) for r in range(self.nprocs)}
         )
 
 
@@ -109,12 +110,17 @@ class _ProcessRuntime:
             return
         remaining = deadline - time.monotonic()
         if remaining <= 0:
-            raise SpmdError(f"{waiting_for} timed out — deadlock?")
+            raise SpmdError(self._timeout_report(waiting_for))
         try:
             self._dispatch(inbox.get(timeout=min(remaining, 0.5)))
         except queue_mod.Empty:
             if time.monotonic() >= deadline:
-                raise SpmdError(f"{waiting_for} timed out — deadlock?") from None
+                raise SpmdError(self._timeout_report(waiting_for)) from None
+
+    def _timeout_report(self, waiting_for: str) -> str:
+        """Per-op timeout message with the structural per-rank table
+        (deadlock reporter parity with the thread/serial backends)."""
+        return f"{waiting_for} timed out — deadlock?\n" + self.board.dump()
 
     def pump_briefly(self, seconds: float) -> None:
         """Blocking drain bounded by ``seconds``; no deadlock accounting."""
@@ -360,7 +366,7 @@ class ProcessBackend(Backend):
                     if time.monotonic() > deadline:
                         raise SpmdError(
                             f"SPMD run timed out after {timeout}s (deadlock?)\n"
-                            "last-known per-rank state:\n" + board.dump()
+                            "last-known " + board.dump()
                         )
                     dead = [
                         r for r in range(nprocs)

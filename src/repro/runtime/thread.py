@@ -6,9 +6,18 @@ rendezvous on a double barrier.  Cheap to launch and ideal for
 communication-structure measurement, but the GIL serializes Python-level
 work across ranks — use the process backend when ranks do heavy NumPy work.
 
-On a deadlock timeout the per-rank stack traces are embedded in the
-:class:`~repro.mpi.comm.SpmdError` so the blocked operation is visible
-without a debugger.
+On a deadlock timeout the error carries the serial backend's structural
+"per-rank state" table (what each rank is blocked on, maintained by a
+shared wait board) followed by the per-rank stack traces, so the blocked
+operation is visible without a debugger.
+
+With ``REPRO_SPMD_CHECK=1`` the world carries a
+:class:`repro.analysis.runtime_check.BufferTracker`: the zero-copy payload
+references this backend shares between ranks are exactly the buffers whose
+unsynchronized cross-rank mutation the write-epoch race detector catches.
+Sends, receives, and collective results record read accesses automatically;
+the epoch advances inside every collective rendezvous (while all ranks are
+blocked in the barrier).
 """
 
 from __future__ import annotations
@@ -19,7 +28,7 @@ import time
 import traceback
 from typing import Any, Callable, Optional
 
-from .base import Backend
+from .base import Backend, format_rank_states
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -85,17 +94,22 @@ class _CollectiveContext:
     barrier makes back-to-back collectives safe.
     """
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, tracker=None) -> None:
         self.size = size
         self.slots: list[Any] = [None] * size
         self.result: Any = None
         self.barrier = threading.Barrier(size)
+        self.tracker = tracker
 
     def exchange(self, rank: int, value: Any, combine: Callable[[list], Any]) -> Any:
         self.slots[rank] = value
         idx = self.barrier.wait()
         if idx == 0:
             self.result = combine(self.slots)
+            if self.tracker is not None:
+                # Every peer is blocked in the next barrier.wait() right
+                # now, so this is a true happens-before point: bump here.
+                self.tracker.bump_epoch()
         self.barrier.wait()
         out = self.result
         idx = self.barrier.wait()
@@ -110,7 +124,13 @@ class ThreadWorld:
     """Shared state for one communicator (group of rank threads)."""
 
     def __init__(
-        self, size: int, stats, timeout: float, rank_threads: dict | None = None
+        self,
+        size: int,
+        stats,
+        timeout: float,
+        rank_threads: dict | None = None,
+        tracker=None,
+        wait_board: dict | None = None,
     ) -> None:
         self.size = size
         self.stats = stats
@@ -120,8 +140,13 @@ class ThreadWorld:
         self.rank_threads: dict[int, threading.Thread] = (
             {} if rank_threads is None else rank_threads
         )
+        #: thread ident -> "waiting on" description; shared with subworlds
+        #: so the deadlock table covers blocked sub-communicator waits too.
+        self.wait_board: dict[int, str] = {} if wait_board is None else wait_board
+        #: REPRO_SPMD_CHECK=1 write-epoch race detector (None when off).
+        self.tracker = tracker
         self.mailboxes = [_Mailbox(self._deadlock_report) for _ in range(size)]
-        self.collective = _CollectiveContext(size)
+        self.collective = _CollectiveContext(size, tracker)
         self.split_lock = threading.Lock()
         self.split_cache: dict = {}
         self.attr_lock = threading.Lock()
@@ -129,19 +154,46 @@ class ThreadWorld:
         self.ibarrier_lock = threading.Lock()
         self.ibarrier_counts: dict = {}
 
+    def _set_wait(self, desc: str | None) -> None:
+        ident = threading.get_ident()
+        if desc is None:
+            self.wait_board.pop(ident, None)
+        else:
+            self.wait_board[ident] = desc
+
     # Transport interface (see repro.runtime.base) -------------------------
 
     def post(self, dest: int, src: int, tag: int, payload: Any) -> None:
+        if self.tracker is not None:
+            # Sending is a read of the (shared-by-reference) payload.
+            self.tracker.record_payload(payload, src, "send")
         self.mailboxes[dest].put(src, tag, payload)
 
     def wait_recv(self, rank: int, source: int, tag: int):
-        return self.mailboxes[rank].get(source, tag, self.timeout)
+        self._set_wait(
+            f"recv(source={source}, tag={tag}) on comm of size {self.size}"
+        )
+        try:
+            got = self.mailboxes[rank].get(source, tag, self.timeout)
+        finally:
+            self._set_wait(None)
+        if self.tracker is not None:
+            self.tracker.record_payload(got[2], rank, "recv")
+        return got
 
     def probe(self, rank: int, source: int, tag: int):
         return self.mailboxes[rank].probe(source, tag)
 
     def exchange(self, rank: int, value: Any, combine: Callable[[list], Any]) -> Any:
-        return self.collective.exchange(rank, value, combine)
+        self._set_wait(f"collective on comm of size {self.size}")
+        try:
+            out = self.collective.exchange(rank, value, combine)
+        finally:
+            self._set_wait(None)
+        if self.tracker is not None and out is not None:
+            # Collective results are shared by reference across all ranks.
+            self.tracker.record_payload(out, rank, "recv")
+        return out
 
     def ibarrier_arrive(self, rank: int, key) -> None:
         with self.ibarrier_lock:
@@ -158,7 +210,12 @@ class ThreadWorld:
         with self.split_lock:
             if key not in self.split_cache:
                 self.split_cache[key] = type(self)(
-                    len(ranks), self.stats, self.timeout, self.rank_threads
+                    len(ranks),
+                    self.stats,
+                    self.timeout,
+                    self.rank_threads,
+                    self.tracker,
+                    self.wait_board,
                 )
             return self.split_cache[key]
 
@@ -173,7 +230,20 @@ class ThreadWorld:
     def _deadlock_report(self) -> str:
         if not self.rank_threads:
             return "(rank threads unknown)"
-        return _format_rank_stacks(self.rank_threads)
+        return _deadlock_report(self.rank_threads, self.wait_board)
+
+
+def _wait_table(
+    rank_threads: dict[int, threading.Thread], wait_board: dict[int, str]
+) -> str:
+    """Serial-style structural table: what every top-level rank waits on."""
+    states = {}
+    for r, t in rank_threads.items():
+        if not t.is_alive():
+            states[r] = "finished"
+        else:
+            states[r] = wait_board.get(t.ident) or "running"
+    return format_rank_states(states)
 
 
 def _format_rank_stacks(rank_threads: dict[int, threading.Thread]) -> str:
@@ -194,15 +264,27 @@ def _format_rank_stacks(rank_threads: dict[int, threading.Thread]) -> str:
     return "\n".join(chunks)
 
 
+def _deadlock_report(
+    rank_threads: dict[int, threading.Thread], wait_board: dict[int, str]
+) -> str:
+    """Structural waiting-on table first (deadlock reporter parity with the
+    serial backend), raw stacks after for the full picture."""
+    return _wait_table(rank_threads, wait_board) + "\n" + _format_rank_stacks(
+        rank_threads
+    )
+
+
 class ThreadBackend(Backend):
     """Default backend: one daemon thread per rank, zero-copy mailboxes."""
 
     name = "thread"
 
     def run(self, nprocs, fn, args, timeout, stats) -> list:
+        from repro.analysis.runtime_check import BufferTracker, checks_enabled
         from repro.mpi.comm import Comm, SpmdError
 
-        world = ThreadWorld(nprocs, stats, timeout)
+        tracker = BufferTracker() if checks_enabled() else None
+        world = ThreadWorld(nprocs, stats, timeout, tracker=tracker)
         results: list = [None] * nprocs
         errors: list = [None] * nprocs
 
@@ -232,7 +314,7 @@ class ThreadBackend(Backend):
             if time.monotonic() > deadline:
                 raise SpmdError(
                     f"SPMD run timed out after {timeout}s (deadlock?)\n"
-                    + _format_rank_stacks(threads)
+                    + _deadlock_report(threads, world.wait_board)
                 )
             alive[0].join(min(0.05, max(deadline - time.monotonic(), 0.001)))
         return results
