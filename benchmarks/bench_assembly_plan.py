@@ -25,7 +25,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
 import time
 
@@ -205,12 +204,11 @@ def run(quick: bool) -> dict:
 
 def write_report(section: dict, quick: bool, output: str = DEFAULT_OUT) -> None:
     """Wrap a ``run()`` section in the PR 1 provenance headers and write it."""
+    from _report import host_provenance
+
     report = {
         "meta": {
-            "generated_unix": int(time.time()),
-            "host_cpus": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
+            **host_provenance(),
             "quick": quick,
             "note": (
                 "assembly-plan numeric updates vs per-call COO reference; "

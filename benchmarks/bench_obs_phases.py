@@ -234,9 +234,15 @@ def run(quick: bool, backends: list[str] | None = None) -> dict:
     )
 
     # Artifacts: per-phase JSON + full world report + Chrome trace.
+    from _report import host_provenance
+
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, "obs_phases.json"), "w") as fh:
-        json.dump({**out, "chns_world_report": ref_ch.to_dict()}, fh, indent=2)
+        json.dump(
+            {"meta": host_provenance(), **out,
+             "chns_world_report": ref_ch.to_dict()},
+            fh, indent=2,
+        )
     obs.to_chrome_trace(
         ch_snaps, os.path.join(RESULTS_DIR, "obs_chns_trace.json")
     )

@@ -1,0 +1,141 @@
+"""Batch simulation throughput: N tiny scenario jobs at concurrency 1 vs 4.
+
+Measures the PR 6 batch service (``repro.scenarios.batch``) end to end:
+the same set of quick 2D jobs runs once with one worker rank and once with
+four, and the report records jobs/min for both plus the speedup.  Workers
+execute on the default usable SPMD backend (process when fork is available
+— true multi-core — else thread); host provenance rides with every number
+because concurrency speedups are meaningless without the core count.
+
+Gate: every job in both batches must report ``succeeded`` — a batch service
+that loses or corrupts jobs fails CI regardless of how fast it is.  The
+concurrency *speedup* is deliberately not gated (a 1-core host honestly
+yields ~1x; see ``meta.single_core_host``).
+
+Artifacts: section in ``benchmarks/results/BENCH_PR6.json`` (standalone)
+and the ``scenario_batch`` section of the run_all report; text table in
+``benchmarks/results/scenario_batch.txt``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_scenarios.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runtime import ProcessBackend  # noqa: E402
+from repro.scenarios import ResultsStore, build, make_jobs, run_batch  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_PR6.json")
+
+
+def _batch_backend() -> str:
+    return "process" if ProcessBackend.is_available() else "thread"
+
+
+def _timed_batch(jobs, concurrency: int, backend: str) -> dict:
+    root = tempfile.mkdtemp(prefix=f"bench_scn_c{concurrency}_")
+    try:
+        t0 = time.perf_counter()
+        report = run_batch(
+            jobs, ResultsStore(root), concurrency=concurrency,
+            backend=backend, resume=False,
+        )
+        wall = time.perf_counter() - t0
+        return {
+            "concurrency": concurrency,
+            "wall_s": round(wall, 4),
+            "jobs_per_min": round(60.0 * report.n_run / wall, 3),
+            "statuses": report.statuses,
+            "all_succeeded": report.all_succeeded,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def run(quick: bool) -> dict:
+    backend = _batch_backend()
+    # Seeded repeats of the two cheapest CH families: enough work to keep 4
+    # ranks busy, small enough for CI.
+    n_repeats = 3 if quick else 6
+    configs = [build("drop_2d", quick=True), build("coalescence_2d", quick=True)]
+    jobs = make_jobs(configs, repeats=n_repeats)
+    out: dict = {
+        "backend": backend,
+        "n_jobs": len(jobs),
+        "scenarios": sorted({j.config.name for j in jobs}),
+        "runs": {},
+    }
+    for concurrency in (1, 4):
+        out["runs"][str(concurrency)] = _timed_batch(jobs, concurrency, backend)
+    r1, r4 = out["runs"]["1"], out["runs"]["4"]
+    out["speedup_c4_vs_c1"] = round(r1["wall_s"] / r4["wall_s"], 3)
+    out["gate_passed"] = bool(r1["all_succeeded"] and r4["all_succeeded"])
+    return out
+
+
+def write_report(section: dict, quick: bool, output: str = DEFAULT_OUT) -> None:
+    from _report import format_table, host_provenance, report as text_report
+
+    payload = {
+        "meta": {
+            **host_provenance(),
+            "quick": quick,
+            "note": (
+                "batch-service throughput for independent scenario jobs; "
+                "c4-vs-c1 speedup is only meaningful when single_core_host "
+                "is false and the backend is 'process'"
+            ),
+        },
+        "scenario_batch": section,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {output}")
+
+    rows = [
+        (
+            f"concurrency {r['concurrency']}",
+            f"{r['wall_s']:.2f}",
+            f"{r['jobs_per_min']:.1f}",
+            json.dumps(r["statuses"]),
+        )
+        for r in section["runs"].values()
+    ]
+    body = (
+        format_table(["batch", "wall s", "jobs/min", "statuses"], rows)
+        + f"\n\n{section['n_jobs']} jobs over {section['backend']} workers; "
+        + f"c4 vs c1 speedup {section['speedup_c4_vs_c1']}x "
+        + f"(honest number — see single_core_host in the JSON meta)\n"
+        + f"gate (all jobs succeeded at both concurrencies): "
+        + ("PASS" if section["gate_passed"] else "FAIL")
+    )
+    text_report(
+        "scenario_batch",
+        "concurrent batch simulation throughput (PR 6)",
+        body,
+    )
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    ap.add_argument("--output", default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+    section = run(args.quick)
+    write_report(section, args.quick, args.output)
+    return 0 if section["gate_passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

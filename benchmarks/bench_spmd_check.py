@@ -154,9 +154,15 @@ def write_report(section: dict, quick: bool) -> None:
         "runtime-checker hook cost on a collective-dense workload (PR 5)",
         body,
     )
+    from _report import host_provenance
+
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, "BENCH_PR5.json"), "w") as fh:
-        json.dump({"quick": quick, "spmd_check": section}, fh, indent=2)
+        json.dump(
+            {"meta": host_provenance(), "quick": quick,
+             "spmd_check": section},
+            fh, indent=2,
+        )
 
 
 def main(argv=None) -> int:

@@ -31,7 +31,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
 import time
 
@@ -41,7 +40,9 @@ import numpy as np
 
 import bench_assembly_plan
 import bench_obs_phases
+import bench_scenarios
 import bench_spmd_check
+from _report import host_provenance
 
 from repro.fem.operators import stiffness_matrix
 from repro.mesh.distributed import DistributedField
@@ -238,16 +239,13 @@ def main(argv=None) -> int:
 
     report = {
         "meta": {
-            "generated_unix": int(time.time()),
-            "host_cpus": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
+            **host_provenance(),
             "quick": args.quick,
             "backends": backends,
             "note": (
                 "every number is tagged with the SPMD backend that produced "
                 "it; thread/process wall-clock comparisons are only "
-                "meaningful on multi-core hosts"
+                "meaningful when single_core_host is false"
             ),
         }
     }
@@ -268,6 +266,9 @@ def main(argv=None) -> int:
     report["spmd_check"] = bench_spmd_check.run(args.quick)
     bench_spmd_check.write_report(report["spmd_check"], args.quick)
     print("  spmd_check done")
+    report["scenario_batch"] = bench_scenarios.run(args.quick)
+    bench_scenarios.write_report(report["scenario_batch"], args.quick)
+    print("  scenario_batch done")
     report["meta"]["total_wall_s"] = round(time.perf_counter() - t0, 2)
 
     os.makedirs(os.path.dirname(args.output), exist_ok=True)
@@ -324,6 +325,20 @@ def main(argv=None) -> int:
         f"spmd check hook: {sc_sec['disabled_overhead_frac']:+.1%} disabled, "
         f"{sc_sec['enabled_overhead_frac']:+.1%} enabled "
         f"({sc_sec['per_collective_enabled_us']}us/collective)"
+    )
+    sb_sec = report["scenario_batch"]
+    if not sb_sec["gate_passed"]:
+        print(
+            "ERROR: scenario batch lost/failed jobs: "
+            + json.dumps({c: r["statuses"] for c, r in sb_sec["runs"].items()}),
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"scenario batch: {sb_sec['n_jobs']} jobs, "
+        f"{sb_sec['runs']['1']['jobs_per_min']} jobs/min @c1, "
+        f"{sb_sec['runs']['4']['jobs_per_min']} @c4 "
+        f"({sb_sec['speedup_c4_vs_c1']}x on {os.cpu_count()} cores)"
     )
     return 0
 

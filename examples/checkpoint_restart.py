@@ -41,6 +41,11 @@ def main() -> None:
     for _ in range(3):
         res = ch.solve(phi, mu, None, dt=1e-3)
         phi, mu = res.phi, res.mu
+        if not (res.newton.converged and np.all(np.isfinite(phi))):
+            raise SystemExit(
+                f"CH solve diverged (residual {res.newton.residual:.2e}) — "
+                "refusing to checkpoint a bad state"
+            )
 
     path = os.path.join(tempfile.mkdtemp(), "chns_ckpt")
     save_checkpoint(path, mesh.tree, {"phi": phi, "mu": mu}, nprocs=2)

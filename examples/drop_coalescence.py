@@ -6,51 +6,51 @@ monotonically and total phase mass is conserved — the two discrete
 invariants the solver guarantees.  The mesh follows the interface through
 the topology change via the remeshing driver.
 
+The case itself is the registered ``coalescence_2d`` scenario
+(:mod:`repro.scenarios`); this script only adds the per-step narration.
+Exits non-zero on solver failure.
+
 Run:  python examples/drop_coalescence.py
 """
 
+import sys
+
 import numpy as np
 
-from repro.amr.driver import RemeshConfig, remesh
-from repro.chns.ch_solver import CHSolver
 from repro.chns.free_energy import ginzburg_landau_energy, total_mass
-from repro.chns.initial_conditions import two_drops
-from repro.chns.params import CHNSParams
-from repro.mesh.mesh import mesh_from_field
+from repro.scenarios import build, run_scenario
+
+_m0 = None
 
 
-def main() -> None:
-    params = CHNSParams(Pe=20.0, Cn=0.04)
+def print_step(state) -> None:
+    global _m0
+    mesh, phi = state.mesh, state.phi
+    mass = total_mass(mesh, phi)
+    if _m0 is None:
+        _m0 = mass
+    neck = float(mesh.evaluate_at(phi, np.array([[0.52, 0.5]]))[0])
+    print(f"{state.step:>4} {mesh.n_elems:>6} {mass - _m0:>11.2e} "
+          f"{ginzburg_landau_energy(mesh, phi, 0.04):>9.5f} {neck:>19.3f}")
 
-    def phi0(x):
-        return two_drops(x, (0.42, 0.5), 0.12, (0.62, 0.5), 0.1, params.Cn)
 
-    mesh = mesh_from_field(phi0, 2, max_level=5, min_level=3, threshold=0.95)
-    ch = CHSolver(mesh, params)
-    phi = mesh.interpolate(phi0)
-    mu = ch.initial_mu(phi)
-
-    m0 = total_mass(mesh, phi)
-    cfg = RemeshConfig(coarse_level=3, interface_level=5, feature_level=5)
-    dt = 2e-3
+def main() -> int:
+    config = build("coalescence_2d")
+    print(f"scenario: {config.name}  Pe={config.physics['Pe']:g} "
+          f"Cn={config.physics['Cn']:g}  remesh every "
+          f"{config.refinement.remesh_every} steps")
     print(f"{'step':>4} {'elems':>6} {'mass drift':>11} {'energy':>9} "
           f"{'neck phi(0.52,0.5)':>19}")
-    for step in range(10):
-        res = ch.solve(phi, mu, None, dt)
-        phi, mu = res.phi, res.mu
-        if step % 3 == 2:  # follow the interface
-            mesh, fields, _ = remesh(mesh, {"phi": phi, "mu": mu}, cfg)
-            phi, mu = fields["phi"], fields["mu"]
-            ch = CHSolver(mesh, params)
-        neck = float(mesh.evaluate_at(phi, np.array([[0.52, 0.5]]))[0])
-        print(f"{step:>4} {mesh.n_elems:>6} "
-              f"{total_mass(mesh, phi) - m0:>11.2e} "
-              f"{ginzburg_landau_energy(mesh, phi, params.Cn):>9.5f} "
-              f"{neck:>19.3f}")
+
+    result = run_scenario(config, on_step=print_step)
+    if result.status != "succeeded":
+        print(f"FAILED ({result.status}): {result.error}", file=sys.stderr)
+        return 1
 
     print("\nneck phi dropping toward -1 = the drops have merged; "
           "energy decays; mass drift stays at solver/transfer tolerance.")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

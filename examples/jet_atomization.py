@@ -6,95 +6,68 @@ steps — the interface is kept at the interface level and detected
 filaments/droplets at the (deeper) feature level.  Prints the evolving
 level histogram and the paper's "equivalent uniform grid points" metric.
 
-Run:  python examples/jet_atomization.py
+The case is the registered ``jet_2d`` scenario (:mod:`repro.scenarios`);
+``--vtk`` switches on the scenario's VTK time series (written into
+``jet_output/vtk/``).  Exits non-zero on solver failure.
+
+Run:  python examples/jet_atomization.py [--vtk]
 """
 
 import sys
 
 import numpy as np
 
-from repro.amr.driver import (
-    RemeshConfig,
-    level_fractions,
-    uniform_equivalent_points,
-)
-from repro.chns.initial_conditions import jet_column
-from repro.chns.params import CHNSParams
-from repro.chns.timestepper import CHNSTimeStepper, jet_inflow_bc
-from repro.core.identifier import IdentifierConfig
-from repro.mesh.mesh import mesh_from_field
-
-CN = 0.03
-MAX_LEVEL = 6
-FEATURE_LEVEL = 7
+from repro.amr.driver import level_fractions, uniform_equivalent_points
+from repro.scenarios import build, run_scenario
 
 
-def jet_phi(x):
-    return jet_column(
-        x, half_width=0.1, length=0.35, Cn=CN, perturb_amp=0.15, perturb_k=6
+def print_step(state) -> None:
+    d = state.stepper.diagnostics()
+    fr = level_fractions(state.mesh)
+    hist = " ".join(
+        f"L{l}:{f:.0%}"
+        for l, f in zip(fr["levels"], fr["element_fraction"])
+        if f > 0
     )
+    print(f"step {state.step - 1}: {d.n_elems:5d} elems | phi in "
+          f"[{d.phi_min:+.2f}, {d.phi_max:+.2f}] | "
+          f"|v|max {np.abs(state.vel).max():.2f} | {hist}")
 
 
-def main() -> None:
-    mesh = mesh_from_field(jet_phi, 2, max_level=MAX_LEVEL, min_level=3,
-                           threshold=0.95)
-    params = CHNSParams(
-        Re=200.0, We=4.0, Pe=200.0, Cn=CN, rho_minus=0.2, eta_minus=0.2
-    )
-    stepper = CHNSTimeStepper(
-        mesh,
-        params,
-        velocity_bc=lambda m: jet_inflow_bc(m, half_width=0.1, speed=1.0),
-        remesh_config=RemeshConfig(
-            coarse_level=3,
-            interface_level=MAX_LEVEL,
-            feature_level=FEATURE_LEVEL,
-            identifier=IdentifierConfig(delta=-0.8, n_erode=4,
-                                        n_extra_dilate=3),
-        ),
-        remesh_every=2,
-    )
-    stepper.initialize(jet_phi)
-    print(f"initial mesh: {mesh.n_elems} elements "
-          f"(equivalent uniform points: {uniform_equivalent_points(mesh):.3g})")
-
+def main() -> int:
     write_vtk = "--vtk" in sys.argv
-    if write_vtk:
-        from repro.io.vtk import write_time_series
+    config = build("jet_2d")
+    config.outputs.vtk = write_vtk
 
-    dt = 5e-4
-    for step in range(6):
-        stepper.step(dt)
-        if write_vtk:
-            write_time_series(
-                "jet_output", "jet", step, stepper.mesh,
-                point_data={"phi": stepper.phi, "p": stepper.p},
-                cell_data={"level": stepper.mesh.tree.levels.astype(float)},
-            )
-        d = stepper.diagnostics()
-        fr = level_fractions(stepper.mesh)
-        hist = " ".join(
-            f"L{l}:{f:.0%}"
-            for l, f in zip(fr["levels"], fr["element_fraction"])
-            if f > 0
-        )
-        print(f"step {step}: {d.n_elems:5d} elems | phi in "
-              f"[{d.phi_min:+.2f}, {d.phi_max:+.2f}] | "
-              f"|v|max {np.abs(stepper.vel).max():.2f} | {hist}")
+    last = {}
 
-    mesh = stepper.mesh
+    def on_step(state):
+        print_step(state)
+        last["mesh"] = state.mesh
+        last["stepper"] = state.stepper
+
+    result = run_scenario(
+        config, on_step=on_step, workdir="jet_output" if write_vtk else None
+    )
+    if result.status != "succeeded":
+        print(f"FAILED ({result.status}): {result.error}", file=sys.stderr)
+        return 1
+
+    mesh = last["mesh"]
     equiv = uniform_equivalent_points(mesh)
-    print(f"\nfinal: levels {mesh.tree.levels.min()}..{mesh.tree.levels.max()}, "
-          f"{mesh.n_dofs} DOFs vs {equiv:.3g} equivalent uniform points "
-          f"({equiv / mesh.n_dofs:.0f}x compression).")
+    print(f"\nfinal: levels {mesh.tree.levels.min()}.."
+          f"{mesh.tree.levels.max()}, {mesh.n_dofs} DOFs vs {equiv:.3g} "
+          f"equivalent uniform points ({equiv / mesh.n_dofs:.0f}x "
+          "compression).")
     print("(The paper's production run: 3D, level 15, 35 trillion equivalent "
           "points, 64x beyond prior state of the art.)")
-    t = stepper.timers
+    t = last["stepper"].timers
     print(f"block times: CH {t.ch:.2f}s NS {t.ns:.2f}s PP {t.pp:.2f}s "
           f"VU {t.vu:.2f}s remesh {t.remesh:.2f}s")
     if write_vtk:
-        print("VTK snapshots written to jet_output/ (open in ParaView)")
+        print("VTK snapshots written to jet_output/vtk/ (open in ParaView)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

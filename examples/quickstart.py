@@ -1,62 +1,56 @@
 """Quickstart: simulate a rising bubble with CHNS on an adaptive octree mesh.
 
-Demonstrates the core public API in ~40 lines of user code:
+Since PR 6 this is a thin wrapper over the declarative scenario registry
+(:mod:`repro.scenarios`): the whole case — domain, physics, initial
+condition, boundary conditions, time stepping — is one registered config,
+and the same config runs from the CLI (``python -m repro.scenarios run
+rising_bubble_2d``) or inside a concurrent batch.
 
-* build an interface-refined, 2:1-balanced mesh from a phase field,
-* set up the two-block CHNS projection stepper (CH/NS/PP/VU solves),
-* time-step with buoyancy and track mass / energy / bounds diagnostics.
+Exits non-zero if the solve fails or diverges, so shell pipelines and CI
+can trust the exit code.
 
 Run:  python examples/quickstart.py
 """
 
+import sys
+
 import numpy as np
 
-from repro.chns.initial_conditions import rising_bubble
-from repro.chns.params import CHNSParams
-from repro.chns.timestepper import CHNSTimeStepper, no_slip_bc
-from repro.mesh.mesh import mesh_from_field
+from repro.scenarios import build, run_scenario
 
 
-def main() -> None:
-    params = CHNSParams(
-        Re=50.0,  # Reynolds
-        We=2.0,  # Weber (surface tension)
-        Pe=100.0,  # Peclet (interface diffusion)
-        Cn=0.06,  # Cahn (interface thickness)
-        Fr=1.0,  # Froude (gravity on)
-        rho_minus=0.3,  # light bubble in heavy fluid
-        eta_minus=0.5,
+def print_step(state) -> None:
+    d = state.stepper.diagnostics()
+    w = np.maximum(-state.phi, 0.0)
+    y_com = float((state.mesh.dof_xy()[:, 1] * w).sum() / w.sum())
+    print(
+        f"{state.step:>4} {d.mass:>10.6f} {d.energy:>10.6f} "
+        f"{np.abs(state.vel).max():>8.4f} "
+        f"[{d.phi_min:>7.3f}, {d.phi_max:>6.3f}] {y_com:>9.4f}"
     )
 
-    def phi0(x):
-        return rising_bubble(x, center=(0.5, 0.3), radius=0.15, Cn=params.Cn)
 
-    mesh = mesh_from_field(phi0, dim=2, max_level=5, min_level=3, threshold=0.95)
-    print(f"mesh: {mesh.n_elems} elements, {mesh.n_dofs} DOFs, "
-          f"levels {mesh.tree.levels.min()}..{mesh.tree.levels.max()}")
-
-    stepper = CHNSTimeStepper(mesh, params, velocity_bc=no_slip_bc)
-    stepper.initialize(phi0)
-
-    dt = 1e-3
+def main() -> int:
+    config = build("rising_bubble_2d")  # the full (non-quick) variant
+    print(f"scenario: {config.name}  solver={config.solver}  "
+          f"levels {config.domain.min_level}..{config.domain.max_level}  "
+          f"{config.time.n_steps} steps of dt={config.time.dt:g}")
     print(f"\n{'step':>4} {'mass':>10} {'energy':>10} {'|v|max':>8} "
           f"{'phi range':>18} {'bubble y':>9}")
-    for step in range(8):
-        stepper.step(dt)
-        d = stepper.diagnostics()
-        w = np.maximum(-stepper.phi, 0.0)
-        y_com = float((stepper.mesh.dof_xy()[:, 1] * w).sum() / w.sum())
-        print(
-            f"{step:>4} {d.mass:>10.6f} {d.energy:>10.6f} "
-            f"{np.abs(stepper.vel).max():>8.4f} "
-            f"[{d.phi_min:>7.3f}, {d.phi_max:>6.3f}] {y_com:>9.4f}"
-        )
 
-    t = stepper.timers
-    print(f"\nblock times: CH {t.ch:.2f}s  NS {t.ns:.2f}s  "
-          f"PP {t.pp:.2f}s  VU {t.vu:.2f}s")
+    result = run_scenario(config, on_step=print_step)
+    if result.status != "succeeded":
+        print(f"FAILED ({result.status}): {result.error}", file=sys.stderr)
+        return 1
+
+    t = result.wall_s
+    print(f"\n{result.steps_done} steps in {t:.2f}s "
+          f"({result.newton_iterations} Newton / "
+          f"{result.krylov_iterations} Krylov iterations, "
+          f"{result.n_elems_final} elements)")
     print("done: buoyant bubble drifts upward while mass stays conserved.")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -69,6 +69,11 @@ def main() -> None:
     print(f"erode/dilate MATVEC sweeps: {res.stats.steps}, "
           f"elements visited: {res.stats.elements_visited}")
 
+    # A silently-empty identification means the pipeline regressed: both
+    # pipelines must flag something (droplet + filament) for exit 0.
+    if not (roi.any() and res.detected.any()):
+        raise SystemExit("region identification flagged nothing — regression")
+
 
 if __name__ == "__main__":
     main()

@@ -15,6 +15,7 @@ backend; wall-clock differs.
 """
 
 import argparse
+import sys
 import time
 
 import numpy as np
@@ -41,13 +42,17 @@ def measure_matvec(mesh, nprocs, n_iters=3, backend=None):
         for _ in range(n_iters):
             owned = df.matvec(Ke[df.elem_lo : df.elem_hi], owned)
         comm.barrier()
+        # A diverged/NaN kernel must fail the run, not print a time: the
+        # rank exception surfaces as SpmdError and the script exits 1.
+        if not np.all(np.isfinite(owned)):
+            raise RuntimeError(f"non-finite MATVEC result on rank {comm.rank}")
         return (time.perf_counter() - t0) / n_iters
 
     times = run_spmd(nprocs, fn, stats=stats, backend=backend)
     return max(times), stats.snapshot()
 
 
-def main() -> None:
+def main() -> int:
     from repro.runtime import available_backends, default_backend_name
 
     ap = argparse.ArgumentParser(description=__doc__)
@@ -103,6 +108,11 @@ def main() -> None:
     for name in ("ns", "pp", "vu", "ch"):
         print(f"  {name.upper()}: {app.speedup(name, fprocs[0], fprocs[-1]):.2f}x")
 
+    if not (np.all(np.isfinite(times)) and np.all(np.isfinite(wt))):
+        print("ERROR: non-finite model timings", file=sys.stderr)
+        return 1
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

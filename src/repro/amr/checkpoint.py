@@ -10,8 +10,9 @@ the full world, activating everyone.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -22,28 +23,52 @@ from ..octree.tree import Octree
 
 
 def save_checkpoint(
-    path: str, tree: Octree, fields: Dict[str, np.ndarray], nprocs: int
+    path: str,
+    tree: Octree,
+    fields: Dict[str, np.ndarray],
+    nprocs: int,
+    meta: Optional[dict] = None,
 ) -> None:
     """Serialize a (gathered) tree + per-DOF fields, recording the writer's
-    process count."""
+    process count.  ``meta`` carries JSON-serializable restart scalars (step
+    index, simulated time, config digest — the scenario runner's restart
+    hook); checkpoints written without it load with ``meta == {}``.
+
+    The write is atomic (tmp file + ``os.replace``) so an interrupt mid-dump
+    never leaves a torn checkpoint behind for the restart path to trip on.
+    """
     payload = {
         "dim": np.int64(tree.dim),
         "anchors": tree.anchors,
         "levels": tree.levels,
         "nprocs": np.int64(nprocs),
+        "meta_json": np.str_(json.dumps(meta or {})),
     }
     for name, vec in fields.items():
         payload[f"field_{name}"] = np.asarray(vec)
-    np.savez(path, **payload)
+    final = path if path.endswith(".npz") else path + ".npz"
+    tmp = final + ".tmp.npz"
+    np.savez(tmp[: -len(".npz")], **payload)
+    os.replace(tmp, final)
 
 
 def load_checkpoint(path: str) -> Tuple[Octree, Dict[str, np.ndarray], int]:
+    tree, fields, nprocs, _ = load_checkpoint_meta(path)
+    return tree, fields, nprocs
+
+
+def load_checkpoint_meta(
+    path: str,
+) -> Tuple[Octree, Dict[str, np.ndarray], int, dict]:
+    """Like :func:`load_checkpoint` but also returns the restart ``meta``
+    dict ({} for checkpoints written before meta existed)."""
     data = np.load(path if path.endswith(".npz") else path + ".npz")
     tree = Octree(data["anchors"], data["levels"], int(data["dim"]), presorted=True)
     fields = {
         k[len("field_") :]: data[k] for k in data.files if k.startswith("field_")
     }
-    return tree, fields, int(data["nprocs"])
+    meta = json.loads(str(data["meta_json"])) if "meta_json" in data.files else {}
+    return tree, fields, int(data["nprocs"]), meta
 
 
 def restart_distributed(

@@ -11,7 +11,7 @@ all fields transfer to the new grid in a single multi-level pass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields as dc_fields
 from typing import Dict, Optional
 
 import numpy as np
@@ -39,6 +39,29 @@ class RemeshConfig:
             self.coarse_level <= self.interface_level <= self.feature_level
         ):
             raise ValueError("levels must satisfy coarse <= interface <= feature")
+
+    # JSON round-trip: the declarative scenario registry (repro.scenarios)
+    # stores refinement policies as plain dicts inside scenario configs.
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        if self.identifier is not None:
+            d["identifier"] = asdict(self.identifier)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RemeshConfig":
+        from ..core.identifier import IdentifierConfig
+
+        d = dict(d)
+        known = {f.name for f in dc_fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown RemeshConfig keys: {sorted(unknown)}")
+        ident = d.pop("identifier", None)
+        if ident is not None:
+            ident = IdentifierConfig(**ident)
+        return cls(identifier=ident, **d)
 
 
 @dataclass

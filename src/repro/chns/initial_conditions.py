@@ -65,3 +65,46 @@ def jet_column(
 def rising_bubble(x, center=(0.5, 0.25), radius=0.15, Cn=0.02):
     """Light bubble (phi = -1 inside) in heavy fluid — with gravity it rises."""
     return drop(x, center, radius, Cn, inside=-1.0)
+
+
+def rayleigh_taylor(
+    x,
+    y0: float = 0.5,
+    amp: float = 0.05,
+    k: float = 1.0,
+    Cn: float = 0.02,
+    inside=-1.0,
+):
+    """Heavy fluid (phi = +1) resting on light fluid below a perturbed
+    interface ``y = y0 + amp cos(2 pi k x)`` — the classic Rayleigh-Taylor
+    instability setup (gravity pulls the heavy phase down through the
+    light one).  The last coordinate is the vertical axis; in 3D the
+    perturbation is the product of cosines in the horizontal directions.
+    """
+    x = np.asarray(x)
+    vert = x[..., -1]
+    pert = np.cos(2 * np.pi * k * x[..., 0])
+    if x.shape[-1] == 3:
+        pert = pert * np.cos(2 * np.pi * k * x[..., 1])
+    d = (y0 + amp * pert) - vert  # negative above the interface (heavy side)
+    return tanh_profile(d, Cn, inside)
+
+
+def spinodal(x, seed: int = 0, amp: float = 0.2, n_modes: int = 4, Cn=0.05):
+    """Seeded small-amplitude perturbation around the mixed state phi = 0 —
+    the classic spinodal-decomposition initial condition.  The field is a
+    deterministic function of ``seed``: a superposition of ``n_modes``
+    random Fourier modes per axis from ``np.random.default_rng(seed)``, so
+    every backend and every restart sees bit-identical initial data.
+    """
+    x = np.asarray(x)
+    dim = x.shape[-1]
+    rng = np.random.default_rng(seed)
+    out = np.zeros(x.shape[:-1])
+    for _ in range(n_modes):
+        kvec = rng.integers(1, 5, size=dim)
+        phase = rng.uniform(0.0, 2 * np.pi)
+        weight = rng.uniform(0.5, 1.0)
+        arg = 2 * np.pi * np.tensordot(x, kvec.astype(float), axes=([-1], [0]))
+        out = out + weight * np.cos(arg + phase)
+    return np.clip(amp * out / n_modes, -0.9, 0.9)

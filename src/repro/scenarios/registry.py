@@ -1,0 +1,268 @@
+"""Scenario registry: the canonical CHNS benchmark cases as one-config-each.
+
+Each *family* (rising bubble, coalescence, Rayleigh-Taylor, spinodal, jet,
+drop) registers a builder producing a validated :class:`ScenarioConfig` per
+dimensionality; ``quick=True`` shrinks any variant to a seconds-scale smoke
+config (serial-backend friendly) without changing its physics shape.  The
+CLI, batch driver, and examples all obtain configs exclusively through
+:func:`build` / :func:`build_all`, so adding a physics case is one builder
+function — see DESIGN.md "adding a new scenario".
+
+Variant names are ``<family>_<dim>d`` (``rising_bubble_2d``, ``drop_3d``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from .schema import (
+    DomainConfig,
+    InitialCondition,
+    JobControl,
+    OutputConfig,
+    RefinementPolicy,
+    ScenarioConfig,
+    ScenarioError,
+    TimeConfig,
+)
+
+#: (family, dim) -> builder(quick) -> ScenarioConfig
+_FAMILIES: Dict[Tuple[str, int], Callable[[bool], ScenarioConfig]] = {}
+
+
+def register(family: str, dim: int):
+    """Decorator registering ``builder(quick: bool) -> ScenarioConfig``."""
+
+    def wrap(fn):
+        key = (family, dim)
+        if key in _FAMILIES:
+            raise ScenarioError(f"scenario {family}_{dim}d already registered")
+        _FAMILIES[key] = fn
+        return fn
+
+    return wrap
+
+
+def families() -> List[str]:
+    """Registered family names, sorted."""
+    return sorted({fam for fam, _ in _FAMILIES})
+
+
+def variants() -> List[str]:
+    """All registered variant names (``family_<dim>d``), sorted."""
+    return sorted(f"{fam}_{dim}d" for fam, dim in _FAMILIES)
+
+
+def _parse_variant(name: str) -> Tuple[str, int]:
+    if name.endswith("_2d"):
+        return name[:-3], 2
+    if name.endswith("_3d"):
+        return name[:-3], 3
+    return name, 2  # bare family name = its 2D variant
+
+
+def build(name: str, *, quick: bool = False) -> ScenarioConfig:
+    """Build the named variant (``rising_bubble_2d``; a bare family name
+    means its 2D variant)."""
+    family, dim = _parse_variant(name)
+    key = (family, dim)
+    if key not in _FAMILIES:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; registered: {variants()}"
+        )
+    cfg = _FAMILIES[key](quick)
+    return cfg.validate()
+
+
+def build_all(*, quick: bool = False, dims: Tuple[int, ...] = (2, 3)) -> list:
+    """Configs for every registered variant whose dim is in ``dims``."""
+    return [
+        _FAMILIES[(fam, dim)](quick).validate()
+        for fam, dim in sorted(_FAMILIES)
+        if dim in dims
+    ]
+
+
+def _remesh(coarse: int, interface: int, feature: int, every: int,
+            identifier: dict | None = None) -> RefinementPolicy:
+    remesh = {
+        "coarse_level": coarse,
+        "interface_level": interface,
+        "feature_level": feature,
+        "delta_star": 0.95,
+        "identifier": identifier,
+    }
+    return RefinementPolicy(remesh_every=every, remesh=remesh)
+
+
+# --------------------------------------------------------------------------
+# Families.  Non-quick sizes match the historical examples/ scripts; quick
+# sizes are CI smoke material (a few hundred elements, 2-3 steps).
+# --------------------------------------------------------------------------
+
+
+@register("rising_bubble", 2)
+def _rising_bubble_2d(quick: bool) -> ScenarioConfig:
+    lvl = 4 if quick else 5
+    return ScenarioConfig(
+        name="rising_bubble_2d",
+        family="rising_bubble",
+        solver="chns",
+        domain=DomainConfig(dim=2, max_level=lvl, min_level=3, threshold=0.95),
+        physics=dict(Re=50.0, We=2.0, Pe=100.0, Cn=0.06, Fr=1.0,
+                     rho_minus=0.3, eta_minus=0.5),
+        ic=InitialCondition(
+            kind="rising_bubble",
+            params=dict(center=(0.5, 0.3), radius=0.15, Cn=0.06),
+        ),
+        bc="no_slip",
+        time=TimeConfig(dt=1e-3, n_steps=2 if quick else 8),
+    )
+
+
+@register("rising_bubble", 3)
+def _rising_bubble_3d(quick: bool) -> ScenarioConfig:
+    lvl = 3 if quick else 4
+    return ScenarioConfig(
+        name="rising_bubble_3d",
+        family="rising_bubble",
+        solver="chns",
+        domain=DomainConfig(dim=3, max_level=lvl, min_level=2, threshold=0.95),
+        physics=dict(Re=50.0, We=2.0, Pe=100.0, Cn=0.1, Fr=1.0,
+                     rho_minus=0.3, eta_minus=0.5,
+                     gravity_dir=(0.0, 0.0, -1.0)),
+        ic=InitialCondition(
+            kind="rising_bubble",
+            params=dict(center=(0.5, 0.5, 0.3), radius=0.2, Cn=0.1),
+        ),
+        bc="no_slip",
+        time=TimeConfig(dt=1e-3, n_steps=2 if quick else 4),
+    )
+
+
+@register("coalescence", 2)
+def _coalescence_2d(quick: bool) -> ScenarioConfig:
+    lvl = 4 if quick else 5
+    return ScenarioConfig(
+        name="coalescence_2d",
+        family="coalescence",
+        solver="ch",
+        domain=DomainConfig(dim=2, max_level=lvl, min_level=3, threshold=0.95),
+        physics=dict(Pe=20.0, Cn=0.04),
+        ic=InitialCondition(
+            kind="two_drops",
+            params=dict(c1=(0.42, 0.5), r1=0.12, c2=(0.62, 0.5), r2=0.1,
+                        Cn=0.04),
+        ),
+        refinement=_remesh(3, lvl, lvl, every=3),
+        time=TimeConfig(dt=2e-3, n_steps=3 if quick else 10),
+    )
+
+
+@register("rayleigh_taylor", 2)
+def _rayleigh_taylor_2d(quick: bool) -> ScenarioConfig:
+    lvl = 4 if quick else 6
+    return ScenarioConfig(
+        name="rayleigh_taylor_2d",
+        family="rayleigh_taylor",
+        solver="chns",
+        domain=DomainConfig(dim=2, max_level=lvl, min_level=3, threshold=0.95),
+        physics=dict(Re=100.0, We=50.0, Pe=100.0, Cn=0.05, Fr=0.5,
+                     rho_minus=0.3, eta_minus=0.5),
+        ic=InitialCondition(
+            kind="rayleigh_taylor",
+            params=dict(y0=0.5, amp=0.05, k=1.0, Cn=0.05),
+        ),
+        bc="no_slip",
+        time=TimeConfig(dt=1e-3, n_steps=2 if quick else 8),
+    )
+
+
+@register("spinodal", 2)
+def _spinodal_2d(quick: bool) -> ScenarioConfig:
+    lvl = 4 if quick else 6
+    return ScenarioConfig(
+        name="spinodal_2d",
+        family="spinodal",
+        solver="ch",
+        # Spinodal data has no localized interface at t=0: start uniform at
+        # max_level (threshold > 1 refines everywhere).
+        domain=DomainConfig(dim=2, max_level=lvl, min_level=lvl, threshold=2.0),
+        physics=dict(Pe=10.0, Cn=0.08),
+        ic=InitialCondition(kind="spinodal",
+                            params=dict(amp=0.2, n_modes=4)),
+        time=TimeConfig(dt=5e-4, n_steps=3 if quick else 12),
+    )
+
+
+@register("spinodal", 3)
+def _spinodal_3d(quick: bool) -> ScenarioConfig:
+    lvl = 3 if quick else 4
+    return ScenarioConfig(
+        name="spinodal_3d",
+        family="spinodal",
+        solver="ch",
+        domain=DomainConfig(dim=3, max_level=lvl, min_level=lvl, threshold=2.0),
+        physics=dict(Pe=10.0, Cn=0.12),
+        ic=InitialCondition(kind="spinodal",
+                            params=dict(amp=0.2, n_modes=3)),
+        time=TimeConfig(dt=5e-4, n_steps=2 if quick else 6),
+    )
+
+
+@register("jet", 2)
+def _jet_2d(quick: bool) -> ScenarioConfig:
+    lvl = 4 if quick else 6
+    feature = lvl if quick else 7
+    identifier = None if quick else dict(delta=-0.8, n_erode=4,
+                                         n_extra_dilate=3)
+    return ScenarioConfig(
+        name="jet_2d",
+        family="jet",
+        solver="chns",
+        domain=DomainConfig(dim=2, max_level=lvl, min_level=3, threshold=0.95),
+        physics=dict(Re=200.0, We=4.0, Pe=200.0, Cn=0.06 if quick else 0.03,
+                     rho_minus=0.2, eta_minus=0.2),
+        ic=InitialCondition(
+            kind="jet_column",
+            params=dict(half_width=0.1, length=0.35,
+                        Cn=0.06 if quick else 0.03,
+                        perturb_amp=0.15, perturb_k=6),
+        ),
+        bc="jet_inflow",
+        bc_params=dict(half_width=0.1, speed=1.0),
+        refinement=_remesh(3, lvl, feature, every=2, identifier=identifier),
+        time=TimeConfig(dt=5e-4, n_steps=2 if quick else 6),
+    )
+
+
+@register("drop", 2)
+def _drop_2d(quick: bool) -> ScenarioConfig:
+    lvl = 4 if quick else 5
+    return ScenarioConfig(
+        name="drop_2d",
+        family="drop",
+        solver="ch",
+        domain=DomainConfig(dim=2, max_level=lvl, min_level=3, threshold=0.95),
+        physics=dict(Pe=30.0, Cn=0.05),
+        ic=InitialCondition(kind="drop",
+                            params=dict(center=(0.5, 0.5), radius=0.22,
+                                        Cn=0.05)),
+        time=TimeConfig(dt=1e-3, n_steps=2 if quick else 6),
+    )
+
+
+@register("drop", 3)
+def _drop_3d(quick: bool) -> ScenarioConfig:
+    lvl = 3 if quick else 4
+    return ScenarioConfig(
+        name="drop_3d",
+        family="drop",
+        solver="ch",
+        domain=DomainConfig(dim=3, max_level=lvl, min_level=2, threshold=0.95),
+        physics=dict(Pe=30.0, Cn=0.1),
+        ic=InitialCondition(kind="drop",
+                            params=dict(center=(0.5, 0.5, 0.5), radius=0.25,
+                                        Cn=0.1)),
+        time=TimeConfig(dt=1e-3, n_steps=2 if quick else 4),
+    )

@@ -1,0 +1,424 @@
+"""Single-scenario runner: config in, :class:`JobResult` out.
+
+Executes one :class:`~repro.scenarios.schema.ScenarioConfig` to completion
+(or failure, or cooperative timeout), with optional checkpoint/restart via
+:mod:`repro.amr.checkpoint`:
+
+* ``solver="ch"`` runs the advective Cahn-Hilliard block alone (interface
+  dynamics without flow — coalescence, spinodal, drop relaxation);
+* ``solver="chns"`` runs the full two-block projection stepper.
+
+Determinism contract: a run resumed from a checkpoint produces bit-identical
+final state to an uninterrupted run (serial numerics carry no cross-step
+solver state; the scenario tests pin this down).  Checkpoints record a
+config digest and refuse to resume a *different* scenario.
+
+Failure semantics: any exception inside the stepping loop — divergence,
+non-finite state, solver errors — is caught and reported as a ``failed``
+result with the exception text; only :class:`ScenarioInterrupt` (and a real
+``KeyboardInterrupt``) escape differently, leaving an ``interrupted`` record
+that the batch driver re-runs on resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from .. import obs
+from ..amr.checkpoint import load_checkpoint_meta, save_checkpoint
+from ..amr.driver import remesh
+from ..chns.ch_solver import CHSolver
+from ..chns.free_energy import ginzburg_landau_energy, total_mass
+from ..chns.timestepper import CHNSTimeStepper
+from ..mesh.mesh import Mesh, mesh_from_field
+from .schema import ScenarioConfig, ScenarioError
+
+
+class ScenarioInterrupt(Exception):
+    """Injectable interrupt (tests / drivers): stop after the current step,
+    leaving the checkpoint as the resume point."""
+
+
+class SolverDivergence(RuntimeError):
+    """The discrete state left the physical regime (NaN/Inf or blow-up)."""
+
+
+class JobTimeout(RuntimeError):
+    """Cooperative per-job wall-clock budget exceeded between steps."""
+
+
+@dataclass
+class StepState:
+    """Live view handed to ``on_step`` callbacks (examples print from it)."""
+
+    step: int
+    mesh: Mesh
+    phi: np.ndarray
+    mu: np.ndarray
+    vel: Optional[np.ndarray]
+    p: Optional[np.ndarray]
+    stepper: Optional[CHNSTimeStepper]
+
+
+@dataclass
+class JobResult:
+    """One row of the results store (JSON round-trippable)."""
+
+    job_id: str
+    name: str
+    family: str
+    status: str  # pending|running|succeeded|failed|timeout|interrupted
+    steps_done: int = 0
+    n_steps: int = 0
+    wall_s: float = 0.0
+    newton_iterations: int = 0
+    krylov_iterations: int = 0
+    n_elems_final: int = 0
+    diagnostics: dict = field(default_factory=dict)
+    error: Optional[str] = None
+    resumed_from_step: Optional[int] = None
+    seed: int = 0
+    backend: Optional[str] = None
+    obs_summary: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobResult":
+        return cls(**d)
+
+
+def config_digest(config: ScenarioConfig) -> str:
+    """Stable digest of a scenario config — checkpoints embed it so a
+    restart never silently continues a different scenario."""
+    blob = json.dumps(config.to_dict(), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _check_finite(step: int, *arrays: np.ndarray) -> None:
+    for a in arrays:
+        if a is not None and not np.all(np.isfinite(a)):
+            raise SolverDivergence(f"non-finite state after step {step}")
+
+
+def _phi_sane(step: int, phi: np.ndarray) -> None:
+    if np.abs(phi).max() > 10.0:
+        raise SolverDivergence(
+            f"phase field blew up after step {step} "
+            f"(|phi|max = {np.abs(phi).max():.2e})"
+        )
+
+
+def _obs_summary(snapshot: dict) -> dict:
+    """Compact WorldReport payload for the results store."""
+    report = obs.world_report([snapshot])
+    d = report.to_dict()
+    spans = d.get("spans", [])
+    if len(spans) > 24:  # keep the store small: cheapest spans dropped
+        spans = sorted(spans, key=lambda s: -s.get("inclusive_mean_s", 0.0))[:24]
+        d["spans"] = spans
+        d["truncated"] = True
+    return d
+
+
+class _Clock:
+    """Wall budget: started once per run, consulted between steps."""
+
+    def __init__(self, timeout_s: Optional[float]):
+        self.t0 = time.perf_counter()
+        self.timeout_s = timeout_s
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.t0
+
+    def check(self, step: int) -> None:
+        if self.timeout_s is not None and self.elapsed() > self.timeout_s:
+            raise JobTimeout(
+                f"exceeded {self.timeout_s:.1f}s budget before step {step} "
+                f"({self.elapsed():.1f}s elapsed)"
+            )
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    *,
+    job_id: Optional[str] = None,
+    workdir: Optional[str] = None,
+    on_step: Optional[Callable[[StepState], None]] = None,
+    interrupt_after_step: Optional[int] = None,
+) -> JobResult:
+    """Run one scenario job; never raises for in-simulation failures.
+
+    ``workdir`` (required for checkpoints / VTK output) receives
+    ``checkpoint.npz`` every ``control.checkpoint_every`` steps; when a
+    valid checkpoint for *this* config already exists there, the run
+    resumes from it.  ``interrupt_after_step=k`` raises
+    :class:`ScenarioInterrupt` once step ``k`` has completed (checkpoint
+    included) — the hook the interrupt/resume tests drive.
+    """
+    config.validate()
+    result = JobResult(
+        job_id=job_id or config.name,
+        name=config.name,
+        family=config.family,
+        status="running",
+        n_steps=config.time.n_steps,
+        seed=config.control.seed,
+        backend=config.control.backend,
+    )
+    clock = _Clock(config.control.timeout_s)
+    if workdir:
+        os.makedirs(workdir, exist_ok=True)
+    obs_on = config.outputs.obs
+    try:
+        if obs_on:
+            obs.enable()
+        _run_loop(config, result, clock, workdir, on_step,
+                  interrupt_after_step)
+        result.status = "succeeded"
+    except ScenarioInterrupt as exc:
+        result.status = "interrupted"
+        result.error = str(exc) or "interrupted"
+    except JobTimeout as exc:
+        result.status = "timeout"
+        result.error = str(exc)
+    except KeyboardInterrupt:
+        result.status = "interrupted"
+        result.error = "KeyboardInterrupt"
+        raise  # real interrupts must still unwind the batch
+    except Exception as exc:
+        result.status = "failed"
+        result.error = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+    finally:
+        result.wall_s = round(clock.elapsed(), 4)
+        if obs_on:
+            result.obs_summary = _obs_summary(obs.snapshot())
+            obs.disable()
+    return result
+
+
+# --------------------------------------------------------------------------
+# The stepping loop (shared scaffolding, per-solver state advance)
+# --------------------------------------------------------------------------
+
+
+def _run_loop(config, result, clock, workdir, on_step, interrupt_after_step):
+    ckpt_path = os.path.join(workdir, "checkpoint.npz") if workdir else None
+    digest = config_digest(config)
+    sim = _ChState(config) if config.solver == "ch" else _ChnsState(config)
+
+    start_step = 0
+    if ckpt_path and os.path.exists(ckpt_path):
+        tree, fields, _, meta = load_checkpoint_meta(ckpt_path)
+        if meta.get("config_digest") != digest:
+            raise ScenarioError(
+                f"checkpoint in {workdir} belongs to a different scenario "
+                f"(digest {meta.get('config_digest')} != {digest})"
+            )
+        start_step = int(meta["step"])
+        sim.restore(Mesh(tree, check_balance=False), fields, start_step)
+        result.resumed_from_step = start_step
+    else:
+        sim.fresh_start()
+
+    for step in range(start_step, config.time.n_steps):
+        clock.check(step)
+        sim.advance(step)
+        done = step + 1
+        result.steps_done = done
+        phi = sim.phi
+        _check_finite(step, *sim.state_arrays())
+        _phi_sane(step, phi)
+        every = config.outputs.diagnostics_every
+        if on_step is not None and every and done % every == 0:
+            on_step(sim.step_state(done))
+        if config.outputs.vtk and workdir:
+            _write_vtk(config, sim, workdir, done)
+        ck_every = config.control.checkpoint_every
+        if ckpt_path and ck_every and done % ck_every == 0:
+            save_checkpoint(
+                ckpt_path, sim.mesh.tree, sim.checkpoint_fields(),
+                nprocs=config.control.nprocs,
+                meta={"step": done, "config_digest": digest},
+            )
+        if interrupt_after_step is not None and done >= interrupt_after_step:
+            raise ScenarioInterrupt(f"injected interrupt after step {done}")
+
+    result.n_elems_final = sim.mesh.n_elems
+    result.newton_iterations = sim.newton_iterations
+    result.krylov_iterations = sim.krylov_iterations
+    result.diagnostics = sim.diagnostics()
+
+
+def _write_vtk(config, sim, workdir, done):
+    from ..io.vtk import write_time_series
+
+    write_time_series(
+        os.path.join(workdir, "vtk"), config.name, done, sim.mesh,
+        point_data={"phi": sim.phi},
+        cell_data={"level": sim.mesh.tree.levels.astype(float)},
+    )
+
+
+class _ChState:
+    """Cahn-Hilliard-only evolution (no flow): phi/mu + optional remesh."""
+
+    def __init__(self, config: ScenarioConfig):
+        self.config = config
+        self.params = config.build_params()
+        self.remesh_cfg = config.refinement.build()
+        self.newton_iterations = 0
+        self.krylov_iterations = 0
+
+    def fresh_start(self) -> None:
+        phi0 = self.config.build_ic()
+        dom = self.config.domain
+        self.mesh = mesh_from_field(
+            phi0, dom.dim, max_level=dom.max_level, min_level=dom.min_level,
+            threshold=dom.threshold,
+        )
+        self.solver = CHSolver(self.mesh, self.params)
+        self.phi = self.mesh.interpolate(phi0)
+        self.mu = self.solver.initial_mu(self.phi)
+
+    def restore(self, mesh: Mesh, fields: dict, step: int) -> None:
+        self.mesh = mesh
+        self.solver = CHSolver(mesh, self.params)
+        self.phi = np.asarray(fields["phi"], dtype=float)
+        self.mu = np.asarray(fields["mu"], dtype=float)
+
+    def advance(self, step: int) -> None:
+        cfg = self.config
+        every = cfg.refinement.remesh_every
+        if every and step > 0 and step % every == 0:
+            new_mesh, new_fields, _ = remesh(
+                self.mesh, {"phi": self.phi, "mu": self.mu}, self.remesh_cfg
+            )
+            self.mesh = new_mesh
+            self.phi, self.mu = new_fields["phi"], new_fields["mu"]
+            self.solver = CHSolver(new_mesh, self.params)
+        res = self.solver.solve(self.phi, self.mu, None, cfg.time.dt)
+        self.phi, self.mu = res.phi, res.mu
+        self.newton_iterations += res.newton.iterations
+        if not res.newton.converged:
+            raise SolverDivergence(
+                f"CH Newton failed to converge at step {step} "
+                f"(residual {res.newton.residual:.2e})"
+            )
+
+    def state_arrays(self):
+        return (self.phi, self.mu)
+
+    def checkpoint_fields(self) -> dict:
+        return {"phi": self.phi, "mu": self.mu}
+
+    def step_state(self, done: int) -> StepState:
+        return StepState(done, self.mesh, self.phi, self.mu, None, None, None)
+
+    def diagnostics(self) -> dict:
+        return {
+            "mass": float(total_mass(self.mesh, self.phi)),
+            "energy": float(
+                ginzburg_landau_energy(self.mesh, self.phi, self.params.Cn)
+            ),
+            "phi_min": float(self.phi.min()),
+            "phi_max": float(self.phi.max()),
+        }
+
+
+class _ChnsState:
+    """Full two-block CHNS projection evolution via the time stepper."""
+
+    def __init__(self, config: ScenarioConfig):
+        self.config = config
+        self.params = config.build_params()
+
+    def _make_stepper(self, mesh: Mesh) -> CHNSTimeStepper:
+        cfg = self.config
+        return CHNSTimeStepper(
+            mesh,
+            self.params,
+            n_blocks=cfg.time.n_blocks,
+            velocity_bc=cfg.build_bc(),
+            remesh_config=cfg.refinement.build(),
+            remesh_every=cfg.refinement.remesh_every,
+        )
+
+    def fresh_start(self) -> None:
+        phi0 = self.config.build_ic()
+        dom = self.config.domain
+        mesh = mesh_from_field(
+            phi0, dom.dim, max_level=dom.max_level, min_level=dom.min_level,
+            threshold=dom.threshold,
+        )
+        self.stepper = self._make_stepper(mesh)
+        self.stepper.initialize(phi0)
+
+    def restore(self, mesh: Mesh, fields: dict, step: int) -> None:
+        self.stepper = self._make_stepper(mesh)
+        dim = mesh.dim
+        self.stepper.restore(
+            phi=fields["phi"],
+            mu=fields["mu"],
+            p=fields["p"],
+            vel=np.stack([fields[f"v{i}"] for i in range(dim)], axis=1),
+            vel_old=np.stack([fields[f"vold{i}"] for i in range(dim)], axis=1),
+            step_count=step,
+        )
+
+    @property
+    def mesh(self) -> Mesh:
+        return self.stepper.mesh
+
+    @property
+    def phi(self) -> np.ndarray:
+        return self.stepper.phi
+
+    @property
+    def newton_iterations(self) -> int:
+        return self.stepper.iteration_counts["newton"]
+
+    @property
+    def krylov_iterations(self) -> int:
+        return self.stepper.iteration_counts["krylov"]
+
+    def advance(self, step: int) -> None:
+        self.stepper.step(self.config.time.dt)
+
+    def state_arrays(self):
+        s = self.stepper
+        return (s.phi, s.mu, s.vel, s.p)
+
+    def checkpoint_fields(self) -> dict:
+        s = self.stepper
+        fields = {"phi": s.phi, "mu": s.mu, "p": s.p}
+        for i in range(self.mesh.dim):
+            fields[f"v{i}"] = s.vel[:, i]
+            fields[f"vold{i}"] = s.vel_old[:, i]
+        return fields
+
+    def step_state(self, done: int) -> StepState:
+        s = self.stepper
+        return StepState(done, s.mesh, s.phi, s.mu, s.vel, s.p, s)
+
+    def diagnostics(self) -> dict:
+        s = self.stepper
+        d = s.diagnostics()
+        return {
+            "mass": float(d.mass),
+            "energy": float(d.energy),
+            "phi_min": float(d.phi_min),
+            "phi_max": float(d.phi_max),
+            "vel_max": float(np.abs(s.vel).max()),
+        }

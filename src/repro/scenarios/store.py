@@ -1,0 +1,109 @@
+"""JSON results store for scenario batches.
+
+Layout under the store root::
+
+    results.json          consolidated {meta, jobs: {job_id: record}}
+    jobs/<job_id>.json    per-job record, written by whichever worker ran it
+    work/<job_id>/        job workdir (checkpoint.npz, vtk/, ...)
+
+Workers write *only* their own ``jobs/<job_id>.json`` (one job = one writer,
+so concurrent ranks never contend), atomically via tmp-file + ``os.replace``.
+The batch parent consolidates per-job records into ``results.json`` after a
+run — and on load the per-job files win over the consolidated view, so a
+batch killed mid-flight still resumes from exactly the jobs that finished.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Optional
+
+from .runner import JobResult
+from .schema import FINISHED_STATUSES
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    os.replace(tmp, path)
+
+
+class ResultsStore:
+    """Per-batch job records rooted at ``root``."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.jobs_dir = os.path.join(root, "jobs")
+        self.results_path = os.path.join(root, "results.json")
+
+    def prepare(self) -> None:
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        os.makedirs(os.path.join(self.root, "work"), exist_ok=True)
+
+    def workdir(self, job_id: str) -> str:
+        return os.path.join(self.root, "work", job_id)
+
+    def job_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.json")
+
+    # ------------------------------------------------------------- writes
+
+    def write_job(self, result: JobResult) -> None:
+        """Record one finished/interrupted job (atomic, single-writer)."""
+        self.prepare()
+        _atomic_write_json(self.job_path(result.job_id), result.to_dict())
+
+    def consolidate(self, meta: Optional[dict] = None) -> dict:
+        """Merge per-job records into ``results.json`` and return it."""
+        jobs = self.load_jobs()
+        payload = {
+            "meta": {
+                "updated_unix": int(time.time()),
+                "n_jobs": len(jobs),
+                "statuses": self.status_counts(jobs),
+                **(meta or {}),
+            },
+            "jobs": {jid: r.to_dict() for jid, r in sorted(jobs.items())},
+        }
+        os.makedirs(self.root, exist_ok=True)
+        _atomic_write_json(self.results_path, payload)
+        return payload
+
+    # -------------------------------------------------------------- reads
+
+    def load_jobs(self) -> Dict[str, JobResult]:
+        """All known records; per-job files override ``results.json``."""
+        jobs: Dict[str, JobResult] = {}
+        if os.path.exists(self.results_path):
+            with open(self.results_path) as fh:
+                for jid, rec in json.load(fh).get("jobs", {}).items():
+                    jobs[jid] = JobResult.from_dict(rec)
+        if os.path.isdir(self.jobs_dir):
+            for fname in sorted(os.listdir(self.jobs_dir)):
+                if not fname.endswith(".json") or fname.endswith(".tmp"):
+                    continue
+                try:
+                    with open(os.path.join(self.jobs_dir, fname)) as fh:
+                        rec = json.load(fh)
+                    jobs[rec["job_id"]] = JobResult.from_dict(rec)
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue  # torn write from a killed worker: re-run it
+        return jobs
+
+    def finished_ids(self) -> set:
+        """Jobs with a final verdict — skipped by a resuming batch."""
+        return {
+            jid
+            for jid, r in self.load_jobs().items()
+            if r.status in FINISHED_STATUSES
+        }
+
+    @staticmethod
+    def status_counts(jobs: Dict[str, JobResult]) -> dict:
+        counts: dict = {}
+        for r in jobs.values():
+            counts[r.status] = counts.get(r.status, 0) + 1
+        return counts

@@ -1,0 +1,56 @@
+"""Registry coverage: the families and dimensionality the issue promises."""
+
+import pytest
+
+from repro.scenarios import build, build_all, families, variants
+from repro.scenarios.registry import _FAMILIES
+from repro.scenarios.schema import ScenarioError
+
+EXPECTED_FAMILIES = {
+    "rising_bubble", "coalescence", "rayleigh_taylor", "spinodal", "jet",
+    "drop",
+}
+
+
+class TestCoverage:
+    def test_at_least_six_families(self):
+        assert EXPECTED_FAMILIES <= set(families())
+
+    def test_every_family_has_2d(self):
+        dims = {fam: {d for (f, d) in _FAMILIES if f == fam}
+                for fam in families()}
+        assert all(2 in ds for ds in dims.values())
+
+    def test_at_least_two_families_have_3d(self):
+        three_d = {f for (f, d) in _FAMILIES if d == 3}
+        assert len(three_d) >= 2
+
+    def test_variant_names_resolve(self):
+        for name in variants():
+            cfg = build(name, quick=True)
+            assert cfg.name == name
+            cfg.validate()
+
+    def test_bare_family_name_is_2d(self):
+        assert build("drop").name == "drop_2d"
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ScenarioError, match="rising_bubble"):
+            build("no_such_scenario")
+
+
+class TestQuickProfiles:
+    def test_quick_configs_are_tiny(self):
+        for cfg in build_all(quick=True):
+            assert cfg.time.n_steps <= 4
+            cap = 4 if cfg.domain.dim == 2 else 3
+            assert cfg.domain.max_level <= cap, cfg.name
+
+    def test_quick_and_full_differ(self):
+        q, f = build("rising_bubble_2d", quick=True), build("rising_bubble_2d")
+        assert q.domain.max_level < f.domain.max_level
+        assert q.time.n_steps < f.time.n_steps
+
+    def test_build_all_dims_filter(self):
+        assert all(c.domain.dim == 2 for c in build_all(quick=True, dims=(2,)))
+        assert any(c.domain.dim == 3 for c in build_all(quick=True))

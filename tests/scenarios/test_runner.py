@@ -1,0 +1,136 @@
+"""Runner tests: success paths, failure capture, and the bit-identical
+interrupt/restart contract (the PR's checkpoint satellite)."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import build, run_scenario
+from repro.scenarios.runner import config_digest
+from repro.scenarios.schema import ScenarioError
+
+
+def _diverging_drop():
+    """A config that reliably blows up at step 0 (huge dt, huge Pe)."""
+    cfg = build("drop_2d", quick=True)
+    cfg.time.dt = 1e6
+    cfg.physics["Pe"] = 1e6
+    return cfg
+
+
+class TestRun:
+    def test_ch_quick_succeeds_with_diagnostics(self):
+        res = run_scenario(build("coalescence_2d", quick=True))
+        assert res.status == "succeeded"
+        assert res.steps_done == res.n_steps > 0
+        assert res.newton_iterations > 0
+        assert res.n_elems_final > 0
+        assert np.isfinite(res.diagnostics["energy"])
+        assert res.error is None
+
+    def test_chns_quick_succeeds(self):
+        res = run_scenario(build("rising_bubble_2d", quick=True))
+        assert res.status == "succeeded"
+        assert res.krylov_iterations > 0  # velocity/pressure solves ran
+
+    def test_divergence_reported_not_raised(self):
+        res = run_scenario(_diverging_drop())
+        assert res.status == "failed"
+        assert "SolverDivergence" in res.error
+        assert res.steps_done < res.n_steps
+
+    def test_cooperative_timeout(self):
+        cfg = build("coalescence_2d", quick=True)
+        cfg.control.timeout_s = 1e-6
+        res = run_scenario(cfg)
+        assert res.status == "timeout"
+        assert "budget" in res.error
+
+    def test_on_step_sees_live_state(self):
+        seen = []
+        cfg = build("drop_2d", quick=True)
+        cfg.outputs.diagnostics_every = 1
+        run_scenario(cfg, on_step=lambda s: seen.append(
+            (s.step, float(s.phi.min()), float(s.phi.max()))))
+        assert [s[0] for s in seen] == list(range(1, cfg.time.n_steps + 1))
+        assert all(-1.5 < lo <= hi < 1.5 for _, lo, hi in seen)
+
+    def test_result_roundtrips_through_dict(self):
+        from repro.scenarios.runner import JobResult
+
+        res = run_scenario(build("drop_2d", quick=True))
+        assert JobResult.from_dict(res.to_dict()) == res
+
+
+class TestInterruptRestart:
+    """Satellite: interrupt a tiny rising-bubble mid-run, restart from its
+    checkpoint, and demand a bit-identical final state vs an uninterrupted
+    run on the serial backend."""
+
+    def _config(self, tmp_path=None):
+        cfg = build("rising_bubble_2d", quick=True)
+        cfg.time.n_steps = 4
+        cfg.control.checkpoint_every = 1
+        cfg.control.backend = "serial"
+        return cfg
+
+    def test_bit_identical_resume(self, tmp_path):
+        cfg = self._config()
+        final = {}
+
+        def capture(tag):
+            def cb(state):
+                if state.step == cfg.time.n_steps:
+                    final[tag] = dict(
+                        phi=state.phi.copy(), mu=state.mu.copy(),
+                        vel=state.vel.copy(), p=state.p.copy(),
+                        vel_old=state.stepper.vel_old.copy(),
+                    )
+            return cb
+
+        straight = run_scenario(cfg, on_step=capture("straight"))
+        assert straight.status == "succeeded"
+
+        wd = str(tmp_path / "wd")
+        cut = run_scenario(cfg, workdir=wd, on_step=capture("cut"),
+                           interrupt_after_step=2)
+        assert cut.status == "interrupted"
+        assert cut.steps_done == 2
+        assert "cut" not in final  # never reached the last step
+
+        resumed = run_scenario(cfg, workdir=wd, on_step=capture("resumed"))
+        assert resumed.status == "succeeded"
+        assert resumed.resumed_from_step == 2
+        assert resumed.steps_done == cfg.time.n_steps
+
+        a, b = final["straight"], final["resumed"]
+        for key in ("phi", "mu", "vel", "p", "vel_old"):
+            assert np.array_equal(a[key], b[key]), (
+                f"{key} not bit-identical after resume"
+            )
+
+    def test_checkpoint_refuses_foreign_config(self, tmp_path):
+        wd = str(tmp_path / "wd")
+        cfg = self._config()
+        run_scenario(cfg, workdir=wd, interrupt_after_step=1)
+
+        other = self._config()
+        other.physics["Re"] = 123.0
+        assert config_digest(other) != config_digest(cfg)
+        res = run_scenario(other, workdir=wd)
+        assert res.status == "failed"
+        assert "digest" in res.error
+
+
+@pytest.mark.slow
+class TestAllQuickVariants:
+    """Every registered variant (3D included) runs to success serially —
+    the same sweep the CI scenario-smoke job drives through the CLI."""
+
+    from repro.scenarios import variants as _variants
+
+    @pytest.mark.parametrize("name", _variants())
+    def test_quick_variant_succeeds(self, name):
+        cfg = build(name, quick=True)
+        cfg.control.backend = "serial"
+        res = run_scenario(cfg)
+        assert res.status == "succeeded", res.error
