@@ -24,6 +24,11 @@ remesh), and fails the run if the backends disagree on the span-tree
 signature or if disabled tracing costs more than 5% on the assembly hot
 path.  It drops a Chrome trace of the CHNS run into
 ``benchmarks/results/obs_chns_trace.json``.
+
+The precond section (``bench_precond.py``) reruns the quick
+``rising_bubble_2d`` scenario with Jacobi vs PCD inner preconditioning and
+fails the run unless PCD reduces NS+PP Krylov iterations per step at
+matched tolerance (standalone report: ``results/BENCH_PR8.json``).
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ import numpy as np
 
 import bench_assembly_plan
 import bench_obs_phases
+import bench_precond
 import bench_scenarios
 import bench_spmd_check
 from _report import host_provenance
@@ -269,6 +275,9 @@ def main(argv=None) -> int:
     report["scenario_batch"] = bench_scenarios.run(args.quick)
     bench_scenarios.write_report(report["scenario_batch"], args.quick)
     print("  scenario_batch done")
+    report["precond"] = bench_precond.run(args.quick)
+    bench_precond.write_report(report["precond"], args.quick)
+    print("  precond done")
     report["meta"]["total_wall_s"] = round(time.perf_counter() - t0, 2)
 
     os.makedirs(os.path.dirname(args.output), exist_ok=True)
@@ -339,6 +348,20 @@ def main(argv=None) -> int:
         f"{sb_sec['runs']['1']['jobs_per_min']} jobs/min @c1, "
         f"{sb_sec['runs']['4']['jobs_per_min']} @c4 "
         f"({sb_sec['speedup_c4_vs_c1']}x on {os.cpu_count()} cores)"
+    )
+    pc_sec = report["precond"]
+    if not pc_sec["gate_passed"]:
+        print(
+            "ERROR: PCD did not reduce NS+PP Krylov iterations/step vs "
+            f"Jacobi on {pc_sec['scenario']} "
+            f"(jacobi={pc_sec['runs']['jacobi']['nspp_per_step']}, "
+            f"pcd={pc_sec['runs']['pcd']['nspp_per_step']})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"precond: PCD {pc_sec['iteration_reduction']}x fewer NS+PP "
+        f"iterations/step vs Jacobi on {pc_sec['scenario']}"
     )
     return 0
 

@@ -84,9 +84,23 @@ class CHSolver:
         mu_n: np.ndarray,
         vel: np.ndarray | None,
         dt: float,
+        *,
+        theta: float = 1.0,
+        source_phi: np.ndarray | None = None,
+        source_mu: np.ndarray | None = None,
     ):
         """The Newton callbacks ``(residual, jacobian, split)`` for one CH
-        step (exposed so tests and benchmarks can probe single iterates)."""
+        step (exposed so tests and benchmarks can probe single iterates).
+
+        ``theta`` blends the evolutionary terms between backward Euler
+        (``theta=1``, the default — the exact historical scheme) and
+        Crank-Nicolson (``theta=0.5``, second order in time; the MMS
+        temporal ladder runs here).  The chemical-potential equation is an
+        algebraic constraint, not an evolution equation, so it stays fully
+        implicit for every theta.  ``source_phi``/``source_mu`` are
+        pre-assembled load vectors (manufactured forcing) subtracted from
+        the residuals.
+        """
         mesh, prm = self.mesh, self.params
         n = mesh.n_dofs
         M, K = self.M, self.K
@@ -97,6 +111,16 @@ class CHSolver:
         )
         mob_coeff = 1.0 / (prm.Pe * prm.Cn)
         Cn2 = prm.Cn**2
+        if theta != 1.0:
+            # Old-time flux/advection contributions, assembled once.
+            Km_n = forms.stiffness(
+                mesh, mobility(forms.field_at_quad(mesh, phi_n))
+            )
+            expl = (1.0 - theta) * (
+                Cv @ phi_n + mob_coeff * (Km_n @ mu_n)
+            )
+        else:
+            expl = None
 
         def split(x):
             return x[:n], x[n:]
@@ -105,17 +129,36 @@ class CHSolver:
             self.counters["residual_evals"] += 1
             phi, mu = split(x)
             Km = self._mobility_stiffness(phi)
-            r_phi = M @ ((phi - phi_n) / dt) + Cv @ phi + mob_coeff * (Km @ mu)
+            if theta == 1.0:
+                r_phi = (
+                    M @ ((phi - phi_n) / dt)
+                    + Cv @ phi
+                    + mob_coeff * (Km @ mu)
+                )
+            else:
+                r_phi = (
+                    M @ ((phi - phi_n) / dt)
+                    + theta * (Cv @ phi + mob_coeff * (Km @ mu))
+                    + expl
+                )
+            if source_phi is not None:
+                r_phi = r_phi - source_phi
             psi_q = psi_prime(self._phi_at_quad(phi))
             r_mu = M @ mu - forms.source(mesh, psi_q) - Cn2 * (K @ phi)
+            if source_mu is not None:
+                r_mu = r_mu - source_mu
             return np.concatenate([r_phi, r_mu])
 
         def jacobian(x):
             self.counters["jacobian_evals"] += 1
             phi, mu = split(x)
             Km = self._mobility_stiffness(phi)
-            J11 = M / dt + Cv
-            J12 = mob_coeff * Km
+            if theta == 1.0:
+                J11 = M / dt + Cv
+                J12 = mob_coeff * Km
+            else:
+                J11 = M / dt + theta * Cv
+                J12 = (theta * mob_coeff) * Km
             psi2_q = psi_double_prime(self._phi_at_quad(phi))
             M_psi2 = forms.mass(mesh, psi2_q)
             J21 = -M_psi2 - Cn2 * K
@@ -132,8 +175,14 @@ class CHSolver:
         dt: float,
         *,
         tol: float = 1e-9,
+        theta: float = 1.0,
+        source_phi: np.ndarray | None = None,
+        source_mu: np.ndarray | None = None,
     ) -> CHResult:
-        residual, jacobian, split = self.operators(phi_n, mu_n, vel, dt)
+        residual, jacobian, split = self.operators(
+            phi_n, mu_n, vel, dt,
+            theta=theta, source_phi=source_phi, source_mu=source_mu,
+        )
         self._iterate.clear()
         x0 = np.concatenate([phi_n, mu_n])
         res = newton_solve(

@@ -70,6 +70,38 @@ def source(mesh: Mesh, f_q) -> np.ndarray:
     return assemble_vector(mesh, load_vector(mesh.elem_h(), mesh.dim, f_q))
 
 
+def quad_xy(mesh: Mesh) -> np.ndarray:
+    """Physical (unit-cube) coordinates of every quadrature point, shape
+    (n_elems, nq, dim) — where manufactured source terms are sampled."""
+    from ..fem.basis import quad_point_coords
+    from ..octree import morton
+
+    scale = float(1 << morton.MAX_DEPTH)
+    return quad_point_coords(
+        mesh.tree.anchors / scale, mesh.elem_h(), mesh.dim
+    )
+
+
+def source_at(mesh: Mesh, f: Callable, t: float = 0.0) -> np.ndarray:
+    """Load vector(s) of a space-time source ``f(x, t)`` sampled at the
+    quadrature points (the MMS forcing hook: :mod:`repro.verify` derives
+    ``f`` symbolically and the block solvers add the result to their RHS).
+
+    ``f`` maps ``((npts, dim), t)`` to ``(npts,)`` for a scalar source
+    (returns ``(n_dofs,)``) or to ``(npts, k)`` for a vector one (returns
+    ``(n_dofs, k)``).
+    """
+    xq = quad_xy(mesh)
+    e, q, dim = xq.shape
+    fv = np.asarray(f(xq.reshape(-1, dim), t), dtype=float)
+    if fv.ndim == 1:
+        return source(mesh, fv.reshape(e, q))
+    return np.stack(
+        [source(mesh, fv[:, j].reshape(e, q)) for j in range(fv.shape[1])],
+        axis=1,
+    )
+
+
 def flux_divergence_load(mesh: Mesh, flux_q: np.ndarray) -> np.ndarray:
     """Weak divergence of a quad-point flux: ``-∫ F · grad N_i`` appears in
     the equations as ``+∫ N_i div F`` integrated by parts; the caller picks

@@ -27,8 +27,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import obs
+from ..fem.assembly import apply_dirichlet
 from ..la.krylov import SolveResult, cg
-from ..la.precond import JacobiPreconditioner
+from ..la.precond import JacobiPreconditioner, make_preconditioner
 from ..mesh.mesh import Mesh
 from . import forms
 from .params import CHNSParams
@@ -54,24 +55,116 @@ class PPSolver:
         *,
         p0: np.ndarray | None = None,
         tol: float = 1e-9,
+        precond: str = "jacobi",
+        vel_n: np.ndarray | None = None,
+        exact_projection: bool = False,
+        correction_masks=None,
     ) -> PPResult:
+        """``precond="pcd"`` replaces the Jacobi inner preconditioner with a
+        GMG V-cycle on ``K_{1/rho}`` itself — the exact pressure Schur
+        operator of the projection step — with mean-zero nullspace
+        projection wrapped around the cycle.
+
+        ``vel_n`` switches to the *relative* (incremental) right-hand side
+        ``div(v* - v^n)``: only the divergence injected by this step's
+        momentum update is projected.  The absolute form re-projects the
+        O(h^2) weak-divergence residue that the pointwise-gradient velocity
+        correction cannot remove, and the ``1/dt`` scaling turns that
+        residue into a pressure mode that random-walks as ``dt`` shrinks;
+        the relative form cancels the accumulated history exactly.
+
+        ``exact_projection`` replaces the assembled Laplacian ``K_{1/rho}``
+        with the *true* discrete Schur operator ``S = D M^{-1} G`` — the
+        matrix-free composition of the consistent-gradient correction the
+        VU solve applies (including its Dirichlet clamping, via
+        ``correction_masks``) with the weak divergence.  With it the
+        corrected velocity's weak divergence equals the projection target
+        to solver tolerance, so no divergence residue survives to be
+        re-amplified; the approximate ``K`` form leaves an O(h^2)-relative
+        residue per step.  ``K`` still serves as the CG preconditioner."""
         mesh, prm = self.mesh, self.params
         with obs.span("pp.assemble"):
             phi_q = forms.field_at_quad(mesh, phi)
             inv_rho_q = 1.0 / prm.rho_clamped(phi_q)
             K = forms.stiffness(mesh, inv_rho_q)
 
-            vq = forms.field_at_quad(mesh, vel_star)  # (e, q, dim)
+            dv = vel_star if vel_n is None else vel_star - vel_n
+            vq = forms.field_at_quad(mesh, dv)  # (e, q, dim)
             b = (prm.We / dt) * forms.flux_divergence_load(mesh, vq)
             b -= b.mean()  # compatibility with the constant nullspace
 
+        A_op = (
+            self._schur_operator(inv_rho_q, correction_masks, K)
+            if exact_projection
+            else K
+        )
+        if precond == "jacobi":
+            M = JacobiPreconditioner(K.diagonal() + 1e-12)
+        else:
+            M = make_preconditioner(precond, K, mesh=mesh, remove_mean=True)
         res = cg(
-            K,
+            A_op,
             b,
             x0=p0,
-            M=JacobiPreconditioner(K.diagonal() + 1e-12),
+            M=M,
             tol=tol,
             maxiter=6000,
         )
+        obs.incr("pp.krylov_iterations", res.iterations)
         p = res.x - res.x.mean()  # fix the nullspace component
         return PPResult(p=p, solve=res)
+
+    def _schur_operator(self, inv_rho_q, correction_masks, K):
+        """Matrix-free ``S = D M^{-1} G + c h^2 K``: apply the
+        consistent-gradient load (with 1/rho inside, exactly as the VU
+        correction), invert the (Dirichlet-clamped) consistent mass per
+        component, take the weak divergence.  LU-factored mass solves keep
+        the composition exact to round-off — this runs on verify-sized
+        meshes.
+
+        The ``c h^2 K`` term is Brezzi-Pitkaranta pressure stabilization:
+        equal-order Q1-Q1 makes the bare Schur complement near-singular on
+        checkerboard modes (the inf-sup defect), and enforcing the weak
+        divergence exactly lets those modes grow without bound through the
+        pressure-accumulation feedback.  The stabilization gives them an
+        ``O(h^2)`` eigenvalue — the same size as the smoothest physical
+        mode of ``K`` — at the cost of an O(h^2)-relative, dt-independent
+        divergence residue that cancels in same-mesh temporal ladders."""
+        import scipy.sparse.linalg as spla
+
+        mesh = self.mesh
+        n, dim = mesh.n_dofs, mesh.dim
+        M = forms.mass(mesh)
+        stab = 0.1 * float(np.max(mesh.elem_h())) ** 2
+        lus: dict = {}
+
+        def lu_for(mask):
+            key = None if mask is None else mask.tobytes()
+            if key not in lus:
+                if mask is None:
+                    A = M.tocsc()
+                else:
+                    A, _ = apply_dirichlet(
+                        M, np.zeros(n), mask, np.zeros(n)
+                    )
+                    A = A.tocsc()
+                lus[key] = spla.splu(A)
+            return lus[key]
+
+        def matvec(delta):
+            gq = forms.grad_at_quad(mesh, delta)  # (e, q, dim)
+            w = np.empty((n, dim))
+            for i in range(dim):
+                load = forms.source(mesh, inv_rho_q * gq[..., i])
+                mask = (
+                    None if correction_masks is None else correction_masks[i]
+                )
+                if mask is not None:
+                    load = load.copy()
+                    load[mask] = 0.0
+                w[:, i] = lu_for(mask).solve(load)
+            wq = forms.field_at_quad(mesh, w)
+            out = forms.flux_divergence_load(mesh, wq) + stab * (K @ delta)
+            return out - out.mean()
+
+        return matvec

@@ -71,18 +71,67 @@ class CHNSTimeStepper:
         velocity_bc: Optional[Callable[[Mesh], tuple]] = None,
         remesh_config: Optional[RemeshConfig] = None,
         remesh_every: int = 0,
+        precond: Optional[str] = None,
+        ch_theta: float = 1.0,
+        sources: Optional[Dict[str, Callable]] = None,
+        t0: float = 0.0,
+        pp_mode: str = "split",
     ):
+        """``precond`` names the NS/PP inner-solve preconditioner
+        (``None``/"jacobi" keeps the historical behavior; ``"pcd"`` enables
+        the GMG-backed block preconditioner).  ``ch_theta`` blends the CH
+        block between backward Euler (1.0, default) and Crank-Nicolson
+        (0.5).  ``sources`` holds manufactured forcing callables keyed
+        ``"ch"`` (scalar ``f(x, t)``) and ``"ns"`` (vector ``f(x, t)``) —
+        the MMS hook; ``t0`` anchors the simulated time they see.
+
+        ``pp_mode`` selects the pressure-splitting flavor:
+
+        * ``"split"`` (default, historical): each block's Poisson solve
+          rebuilds the pressure from ``div v*`` and the stored field is the
+          splitting variable — the momentum predictor's explicit ``grad p^n``
+          plus the correction's ``grad p^{n+1}`` make the *effective*
+          pressure ``p^n + p^{n+1} ~ 2 p``.
+        * ``"incremental"`` (van Kan): the momentum predictor carries the
+          full accumulated pressure, the Poisson solve projects only the
+          increment driven by ``div(v* - v^n)``, and ``p += delta``.  The
+          per-step correction is then O(dt), which makes the splitting
+          error second order in time.
+        * ``"schur"``: incremental accumulation with the *exact* discrete
+          Schur projection (``PPSolver.solve(exact_projection=True)``) —
+          the corrected velocity's weak divergence is pinned to the solver
+          tolerance every step, so neither the O(h^2) grad/div adjointness
+          residue nor the Dirichlet-clamp leakage can accumulate.  The
+          configuration the temporal MMS ladders in :mod:`repro.verify`
+          measure; too expensive per step for production scenarios.
+        """
         self.params = params
         self.n_blocks = n_blocks
         self.velocity_bc = velocity_bc
         self.remesh_config = remesh_config
         self.remesh_every = remesh_every
+        self.precond = precond or "jacobi"
+        self.ch_theta = float(ch_theta)
+        if pp_mode not in ("split", "incremental", "schur"):
+            raise ValueError(f"unknown pp_mode {pp_mode!r}")
+        self.pp_mode = pp_mode
+        self.sources = sources or {}
+        self.t0 = float(t0)
+        self.t = float(t0)
         self.step_count = 0
         self.timers = StepTimers()
         #: cumulative nonlinear/linear work: Newton iterations (CH block)
         #: and Krylov iterations (NS/PP/VU solves) — the scenario results
-        #: store reads these as the per-job solver cost.
-        self.iteration_counts = {"newton": 0, "krylov": 0}
+        #: store reads these as the per-job solver cost.  The per-block
+        #: ``krylov_ns``/``krylov_pp``/``krylov_vu`` split feeds the
+        #: preconditioner ablation benchmark.
+        self.iteration_counts = {
+            "newton": 0,
+            "krylov": 0,
+            "krylov_ns": 0,
+            "krylov_pp": 0,
+            "krylov_vu": 0,
+        }
         self._bind_mesh(mesh)
 
     # ------------------------------------------------------------- state
@@ -102,6 +151,7 @@ class CHNSTimeStepper:
         """Set phi from a function of unit-cube coordinates; velocity and
         pressure start at rest; mu is made consistent with phi."""
         mesh = self.mesh
+        self.t = self.t0
         self.phi = mesh.interpolate(phi0)
         self.mu = self.ch.initial_mu(self.phi)
         self.vel = np.zeros((mesh.n_dofs, mesh.dim))
@@ -121,6 +171,7 @@ class CHNSTimeStepper:
         vel_old: np.ndarray,
         p: np.ndarray,
         step_count: int,
+        t: Optional[float] = None,
     ) -> None:
         """Resume from checkpointed state instead of :meth:`initialize`.
 
@@ -149,6 +200,8 @@ class CHNSTimeStepper:
         self.vel_old = np.asarray(vel_old, dtype=float)
         self.p = np.asarray(p, dtype=float)
         self.step_count = int(step_count)
+        if t is not None:
+            self.t = float(t)
 
     # -------------------------------------------------------------- step
 
@@ -169,10 +222,22 @@ class CHNSTimeStepper:
                     self._do_remesh()
                 timers.remesh += sw.elapsed
 
-            for _ in range(self.n_blocks):
+            dt_b = dt / self.n_blocks
+            for k in range(self.n_blocks):
+                t_n = self.t + k * dt_b
+                s_phi, ns_forcing = self._block_sources(t_n, dt_b)
                 with obs.stopwatch("chns.ch") as sw_ch:
+                    # CN (theta<1) advects phi with the midpoint-extrapolated
+                    # velocity so the whole block stays second order; BE
+                    # keeps the historical v^n.
+                    ch_vel = (
+                        self.vel
+                        if self.ch_theta == 1.0
+                        else 1.5 * self.vel - 0.5 * self.vel_old
+                    )
                     ch_res = self.ch.solve(
-                        self.phi, self.mu, self.vel, dt / self.n_blocks
+                        self.phi, self.mu, ch_vel, dt_b,
+                        theta=self.ch_theta, source_phi=s_phi,
                     )
                     self.phi, self.mu = ch_res.phi, ch_res.mu
                 with obs.stopwatch("chns.ns") as sw_ns:
@@ -182,31 +247,64 @@ class CHNSTimeStepper:
                         self.vel,
                         self.vel_old,
                         self.p,
-                        dt / self.n_blocks,
+                        dt_b,
                         dirichlet_masks=self.v_masks,
                         dirichlet_values=self.v_values,
+                        precond=self.precond,
+                        forcing=ns_forcing,
                     )
                 with obs.stopwatch("chns.pp") as sw_pp:
+                    # Splitting note ("split" mode): the momentum predictor
+                    # carried grad p^n explicitly and the correction applies
+                    # grad p^{n+1}, so the *effective* pressure of the
+                    # scheme is p^n + p^{n+1} ~ 2 p — the stored field is
+                    # the splitting variable, half the physical pressure.
+                    # Naive accumulation (p += delta) on the absolute RHS is
+                    # NOT an option: the pointwise-gradient correction and
+                    # the weak-divergence Poisson RHS are not discrete
+                    # adjoints, and the O(h^2) mismatch re-amplified by the
+                    # 1/dt Poisson scaling makes an accumulated pressure
+                    # drift without bound.  "incremental" mode avoids both
+                    # problems by projecting only div(v* - v^n), which makes
+                    # the increment O(dt) and cancels the residue history.
+                    incremental = self.pp_mode != "split"
+                    schur = self.pp_mode == "schur"
                     pp_res = self.pp.solve(
-                        self.phi, ns_res.vel_star, dt / self.n_blocks, p0=self.p
+                        self.phi, ns_res.vel_star, dt_b,
+                        p0=None if incremental else self.p,
+                        precond=self.precond,
+                        # The exact projection re-zeros the full divergence
+                        # every step (nothing survives to accumulate), so
+                        # it uses the absolute RHS; the approximate form
+                        # must go relative to keep the residue out.
+                        vel_n=self.vel if incremental and not schur else None,
+                        exact_projection=schur,
+                        correction_masks=self.v_masks if schur else None,
                     )
-                    self.p = pp_res.p
+                    if incremental:
+                        self.p = self.p + pp_res.p
+                        self.p -= self.p.mean()
+                    else:
+                        self.p = pp_res.p
                 with obs.stopwatch("chns.vu") as sw_vu:
                     vu_res = self.vu.solve(
                         self.phi,
                         ns_res.vel_star,
-                        self.p,
-                        dt / self.n_blocks,
+                        pp_res.p,
+                        dt_b,
                         dirichlet_masks=self.v_masks,
                         dirichlet_values=self.v_values,
                     )
                 self.vel_old = self.vel
                 self.vel = vu_res.vel
                 self.iteration_counts["newton"] += ch_res.newton.iterations
-                self.iteration_counts["krylov"] += sum(
-                    s.iterations
-                    for s in (*ns_res.solves, pp_res.solve, *vu_res.solves)
-                )
+                it_ns = sum(s.iterations for s in ns_res.solves)
+                it_pp = pp_res.solve.iterations
+                it_vu = sum(s.iterations for s in vu_res.solves)
+                self.iteration_counts["krylov"] += it_ns + it_pp + it_vu
+                self.iteration_counts["krylov_ns"] += it_ns
+                self.iteration_counts["krylov_pp"] += it_pp
+                self.iteration_counts["krylov_vu"] += it_vu
                 timers.ch += sw_ch.elapsed
                 timers.ns += sw_ns.elapsed
                 timers.pp += sw_pp.elapsed
@@ -214,9 +312,31 @@ class CHNSTimeStepper:
             obs.incr("chns.steps")
             obs.gauge("chns.n_elems", self.mesh.n_elems)
 
+        self.t += dt
         self.step_count += 1
         self.timers += timers
         return timers
+
+    def _block_sources(self, t_n: float, dt_b: float):
+        """Assembled manufactured-forcing loads for one block starting at
+        ``t_n``: the CH load is theta-weighted to match the CH scheme, the
+        NS load is the trapezoidal average matching the CN predictor."""
+        s_phi = ns_forcing = None
+        f_ch = self.sources.get("ch")
+        if f_ch is not None:
+            th = self.ch_theta
+            s_phi = th * forms.source_at(self.mesh, f_ch, t_n + dt_b)
+            if th != 1.0:
+                s_phi = s_phi + (1.0 - th) * forms.source_at(
+                    self.mesh, f_ch, t_n
+                )
+        f_ns = self.sources.get("ns")
+        if f_ns is not None:
+            ns_forcing = 0.5 * (
+                forms.source_at(self.mesh, f_ns, t_n)
+                + forms.source_at(self.mesh, f_ns, t_n + dt_b)
+            )
+        return s_phi, ns_forcing
 
     def _do_remesh(self) -> None:
         fields = {

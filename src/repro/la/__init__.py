@@ -7,5 +7,7 @@ from .newton import NewtonResult, newton_solve  # noqa: F401
 from .precond import (  # noqa: F401
     BlockJacobiPreconditioner,
     JacobiPreconditioner,
+    PCDPreconditioner,
     SSORPreconditioner,
+    make_preconditioner,
 )

@@ -13,6 +13,7 @@ savings the paper anticipated.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -64,12 +65,53 @@ class _Level:
     inv_diag: np.ndarray
 
 
+#: Per-mesh-generation hierarchy cache: the coarse uniform meshes and the
+#: prolongation chain depend only on the fine mesh topology, not on the
+#: operator, so per-timestep preconditioner rebuilds (the density field
+#: moves every step) pay only for the Galerkin products.
+_HIER_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_HIER_CACHE_MAX = 4
+
+
+def hierarchy_for(fine_mesh: Mesh, coarsest_level: int):
+    """``(meshes, prolongations)`` below ``fine_mesh``: uniform meshes at
+    every tree level from one below the finest down to ``coarsest_level``,
+    plus the FE interpolation chain between consecutive pairs.  Cached per
+    ``Mesh.generation`` (AMR remeshes invalidate by building a new Mesh)."""
+    key = (fine_mesh.generation, int(coarsest_level))
+    hit = _HIER_CACHE.get(key)
+    if hit is not None:
+        _HIER_CACHE.move_to_end(key)
+        return hit
+    finest = int(fine_mesh.tree.levels.max())
+    if coarsest_level >= finest:
+        raise ValueError("coarsest_level must be below the fine level")
+    meshes = [fine_mesh]
+    for lev in range(finest - 1, coarsest_level - 1, -1):
+        meshes.append(Mesh.from_tree(uniform_tree(fine_mesh.dim, lev)))
+    Ps = [prolongation(meshes[i + 1], meshes[i]) for i in range(len(meshes) - 1)]
+    _HIER_CACHE[key] = (meshes, Ps)
+    while len(_HIER_CACHE) > _HIER_CACHE_MAX:
+        _HIER_CACHE.popitem(last=False)
+    return meshes, Ps
+
+
+def clear_hierarchy_cache() -> None:
+    _HIER_CACHE.clear()
+
+
 class GeometricMultigrid:
     """V-cycle hierarchy over uniform refinement levels.
 
     ``assemble``: callback building the fine operator on a given Mesh; coarse
     operators are Galerkin products, so variable coefficients are inherited
     exactly.  Usable directly (``solve``) or as a preconditioner (callable).
+
+    The fine mesh may be adaptive: the hierarchy below it is built from
+    *uniform* meshes starting one level below the finest octant, and the
+    geometric FE interpolation of :func:`prolongation` handles the
+    nonconforming transfer (every fine DOF evaluates the coarse multilinear
+    field at its location, wherever it sits).
     """
 
     def __init__(
@@ -82,26 +124,15 @@ class GeometricMultigrid:
         pre_smooth: int = 2,
         post_smooth: int = 2,
     ):
-        levels = np.unique(fine_mesh.tree.levels)
-        if len(levels) != 1:
-            raise ValueError("GMG hierarchy requires a uniform fine mesh")
-        finest = int(levels[0])
-        if coarsest_level >= finest:
-            raise ValueError("coarsest_level must be below the fine level")
         self.omega = omega
         self.pre = pre_smooth
         self.post = post_smooth
 
-        meshes = [fine_mesh]
-        for lev in range(finest - 1, coarsest_level - 1, -1):
-            meshes.append(Mesh.from_tree(uniform_tree(fine_mesh.dim, lev)))
+        meshes, Ps = hierarchy_for(fine_mesh, coarsest_level)
         self.levels: list[_Level] = []
         A = A_fine.tocsr()
-        for i, mesh in enumerate(meshes):
-            if i + 1 < len(meshes):
-                P = prolongation(meshes[i + 1], mesh)
-            else:
-                P = None
+        for i in range(len(meshes)):
+            P = Ps[i] if i < len(Ps) else None
             d = A.diagonal()
             d = np.where(np.abs(d) > 1e-300, d, 1.0)
             self.levels.append(_Level(A=A, P=P, inv_diag=1.0 / d))

@@ -353,6 +353,7 @@ class _ChnsState:
             velocity_bc=cfg.build_bc(),
             remesh_config=cfg.refinement.build(),
             remesh_every=cfg.refinement.remesh_every,
+            precond=cfg.precond,
         )
 
     def fresh_start(self) -> None:

@@ -28,6 +28,7 @@ from ..chns.params import CHNSParams
 from ..chns.timestepper import jet_inflow_bc, lid_driven_bc, no_slip_bc
 
 SOLVERS = ("ch", "chns")
+PRECONDS = ("jacobi", "block_jacobi", "ssor", "pcd")
 JOB_STATUSES = ("pending", "running", "succeeded", "failed", "timeout",
                 "interrupted")
 #: statuses the batch driver treats as final — anything else is re-run on
@@ -221,6 +222,9 @@ class ScenarioConfig:
     ic: InitialCondition = field(default_factory=InitialCondition)
     bc: Optional[str] = None  # velocity BC name (chns only; None = no_slip)
     bc_params: dict = field(default_factory=dict)
+    #: NS/PP inner-solve preconditioner (None = historical Jacobi; "pcd"
+    #: enables the GMG-backed block preconditioner from repro.la.precond).
+    precond: Optional[str] = None
     refinement: RefinementPolicy = field(default_factory=RefinementPolicy)
     time: TimeConfig = field(default_factory=TimeConfig)
     outputs: OutputConfig = field(default_factory=OutputConfig)
@@ -245,6 +249,12 @@ class ScenarioConfig:
             )
         if self.bc is not None and self.solver != "chns":
             raise ScenarioError("velocity BCs require solver='chns'")
+        if self.precond is not None and self.precond not in PRECONDS:
+            raise ScenarioError(
+                f"unknown precond {self.precond!r}; one of {PRECONDS}"
+            )
+        if self.precond is not None and self.solver != "chns":
+            raise ScenarioError("precond only applies to solver='chns'")
         self.build_params()  # CHNSParams validates positivity
         rm = self.refinement.build()
         if rm is not None and rm.feature_level < self.domain.max_level:

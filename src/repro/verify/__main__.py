@@ -1,0 +1,47 @@
+"""CLI entry point: ``python -m repro.verify [--quick] [--out PATH]``.
+
+Runs the MMS ladders, writes ``verify_report.json``, prints the measured
+orders, and exits non-zero if any gated order misses its threshold — the
+contract the ``verify-smoke`` CI job enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import run_all, write_report
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="python -m repro.verify")
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized ladders (seconds instead of minutes)",
+    )
+    ap.add_argument("--out", default="verify_report.json")
+    args = ap.parse_args(argv)
+
+    report = run_all(quick=args.quick)
+    write_report(report, args.out)
+    for case in report["cases"]:
+        status = "PASS" if case["passed"] else "FAIL"
+        print(f"[{status}] {case['name']}")
+        for name, f in case["fields"].items():
+            gate = case["thresholds"].get(name)
+            gate_s = f" (gate >= {gate})" if gate is not None else ""
+            h1 = (
+                f", H1 order {f['h1_order']:.2f}"
+                if f.get("h1_order") is not None
+                else ""
+            )
+            print(f"    {name}: L2 order {f['l2_order']:.2f}{gate_s}{h1}")
+    print(f"report -> {args.out}")
+    if not report["passed"]:
+        print("verification FAILED: convergence order below threshold")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""Symbolically-derived manufactured solutions for the CHNS blocks.
+
+Each factory picks an exact solution that satisfies the discrete boundary
+conditions *exactly* (so no BC-inconsistency error pollutes the measured
+order), substitutes it into the continuous PDE with sympy, and lambdifies
+the residual as the forcing term the solvers inject through
+``chns.forms.source_at``:
+
+* CH: ``phi* = (1/2) cos(pi x) cos(pi y) cos(t)`` — no-flux on every wall
+  (the natural CH boundary condition), and ``|phi*| <= 1/2`` keeps the
+  degenerate mobility ``sqrt(1 - phi^2)`` away from its clamp floor.  The
+  chemical potential is defined *as* ``mu* = psi'(phi*) - Cn^2 lap(phi*)``
+  so the constraint equation needs no source at all.
+* NS: divergence-free velocity from the streamfunction
+  ``sin^2(pi x) sin^2(pi y) cos(t)`` — identically zero on the whole
+  boundary, matching the no-slip masks — with pressure
+  ``cos(pi x) cos(pi y) cos(t)`` (mean-zero, ``grad p . n = 0``, so the
+  projection step's no-penetration weak form is exact).  Run single-phase
+  (``phi = 1``, matched densities): the capillary, gravity and diffusive-
+  flux terms vanish and the momentum forcing is the classical
+  ``dv/dt + (v.grad)v + grad p / We - lap v / Re``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+import numpy as np
+import sympy as sym
+
+_X, _Y, _T = sym.symbols("x y t")
+_SYMS = (_X, _Y, _T)
+
+
+def _scalar(expr) -> Callable:
+    """Lambdify a scalar expr as ``f(pts, t) -> (npts,)``."""
+    fn = sym.lambdify(_SYMS, expr, "numpy")
+
+    def call(pts: np.ndarray, t: float) -> np.ndarray:
+        out = np.asarray(fn(pts[:, 0], pts[:, 1], t), dtype=float)
+        return np.broadcast_to(out, (len(pts),)).copy()
+
+    return call
+
+
+def _vector(exprs) -> Callable:
+    """Lambdify component exprs as ``f(pts, t) -> (npts, k)``."""
+    fns = [_scalar(e) for e in exprs]
+
+    def call(pts: np.ndarray, t: float) -> np.ndarray:
+        return np.stack([f(pts, t) for f in fns], axis=1)
+
+    return call
+
+
+def _grad(expr):
+    return [sym.diff(expr, _X), sym.diff(expr, _Y)]
+
+
+def _lap(expr):
+    return sym.diff(expr, _X, 2) + sym.diff(expr, _Y, 2)
+
+
+@dataclass(frozen=True)
+class CHManufactured:
+    """Exact CH fields and forcing: every attribute is ``f(pts, t)``."""
+
+    phi: Callable
+    mu: Callable
+    grad_phi: Callable  # (npts, 2)
+    f_phi: Callable  # forcing for the phase-field equation
+
+
+@dataclass(frozen=True)
+class NSManufactured:
+    """Exact single-phase NS fields and momentum forcing."""
+
+    vel: Callable  # (npts, 2)
+    p: Callable
+    grad_vel: Callable  # (npts, 2, 2): d v_i / d x_j
+    forcing: Callable  # (npts, 2)
+
+
+@lru_cache(maxsize=None)
+def ch_manufactured(Pe: float, Cn: float) -> CHManufactured:
+    """Manufactured advection-free Cahn-Hilliard problem on [0,1]^2.
+
+    Continuous equation (matching the weak residual in
+    :class:`repro.chns.ch_solver.CHSolver`):
+
+        d phi/dt - (1/(Pe Cn)) div( m(phi) grad mu ) = f_phi
+        mu = psi'(phi) - Cn^2 lap(phi)        (exact, no source)
+    """
+    phi = sym.Rational(1, 2) * sym.cos(sym.pi * _X) * sym.cos(sym.pi * _Y) \
+        * sym.cos(_T)
+    mu = phi**3 - phi - Cn**2 * _lap(phi)
+    m = sym.sqrt(1 - phi**2)
+    flux_div = sym.diff(m * sym.diff(mu, _X), _X) + sym.diff(
+        m * sym.diff(mu, _Y), _Y
+    )
+    f_phi = sym.diff(phi, _T) - flux_div / (Pe * Cn)
+    return CHManufactured(
+        phi=_scalar(phi),
+        mu=_scalar(mu),
+        grad_phi=_vector(_grad(phi)),
+        f_phi=_scalar(sym.simplify(f_phi)),
+    )
+
+
+@lru_cache(maxsize=None)
+def ns_manufactured(Re: float, We: float) -> NSManufactured:
+    """Manufactured single-phase NS + projection problem on [0,1]^2."""
+    g = sym.cos(_T)
+    psi_s = sym.sin(sym.pi * _X) ** 2 * sym.sin(sym.pi * _Y) ** 2 * g
+    u = sym.diff(psi_s, _Y)
+    v = -sym.diff(psi_s, _X)
+    p = sym.cos(sym.pi * _X) * sym.cos(sym.pi * _Y) * g
+    f = []
+    for comp in (u, v):
+        adv = u * sym.diff(comp, _X) + v * sym.diff(comp, _Y)
+        press = sym.diff(p, _X if comp is u else _Y) / We
+        f.append(sym.diff(comp, _T) + adv + press - _lap(comp) / Re)
+    return NSManufactured(
+        vel=_vector([u, v]),
+        p=_scalar(p),
+        grad_vel=_tensor22([_grad(u), _grad(v)]),
+        forcing=_vector([sym.simplify(fi) for fi in f]),
+    )
+
+
+def _tensor22(rows) -> Callable:
+    """Lambdify a 2x2 list-of-lists as ``f(pts, t) -> (npts, 2, 2)``."""
+    fns = [[_scalar(e) for e in row] for row in rows]
+
+    def call(pts: np.ndarray, t: float) -> np.ndarray:
+        return np.stack(
+            [np.stack([f(pts, t) for f in row], axis=1) for row in fns],
+            axis=1,
+        )
+
+    return call

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.fem.assembly import apply_dirichlet, assemble_matrix, assemble_vector
 from repro.fem.basis import quad_point_coords
@@ -81,16 +82,26 @@ class TestVcycle:
         assert pre.iterations < plain.iterations / 3
         assert np.allclose(pre.x, plain.x, atol=1e-5)
 
-    def test_requires_uniform_mesh(self):
+    def test_adaptive_fine_mesh_supported(self):
+        """An interface-refined (hanging-node) fine mesh gets a uniform
+        coarse hierarchy below its finest level; the V-cycle still
+        accelerates CG (the PCD preconditioner relies on this on the
+        registry scenarios' adaptive meshes)."""
         from repro.octree.refine import refine
 
         t = uniform_tree(2, 3)
         targets = t.levels.copy()
-        targets[0] = 4
+        targets[: len(targets) // 2] = 4
         m = Mesh.from_tree(refine(t, targets))
         A = assemble_matrix(m, stiffness_matrix(m.elem_h(), 2))
-        with pytest.raises(ValueError):
-            GeometricMultigrid(m, A, coarsest_level=2)
+        A = (A + sp.eye(m.n_dofs)).tocsr()  # shift off the Neumann nullspace
+        gmg = GeometricMultigrid(m, A, coarsest_level=2)
+        b = np.sin(np.arange(m.n_dofs))
+        plain = cg(A, b, tol=1e-10, maxiter=2000)
+        pre = cg(A, b, M=gmg, tol=1e-10, maxiter=200)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+        assert np.allclose(pre.x, plain.x, atol=1e-6)
 
     def test_requires_strictly_coarser_base(self):
         m, A, _ = poisson_system(3)
