@@ -29,6 +29,13 @@ The precond section (``bench_precond.py``) reruns the quick
 ``rising_bubble_2d`` scenario with Jacobi vs PCD inner preconditioning and
 fails the run unless PCD reduces NS+PP Krylov iterations per step at
 matched tolerance (standalone report: ``results/BENCH_PR8.json``).
+
+The kernels section (``bench_kernels.py``) times the JIT fused element
+kernels against the NumPy fallback (full operator numeric update and
+matrix-free MATVEC) and fails the run if the >= 5x / >= 3x speedup gates
+miss on hosts where Numba is installed; without Numba the identical
+fallback timings are recorded honestly and the gates are waived
+(standalone report: ``results/BENCH_PR9.json``).
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 import numpy as np
 
 import bench_assembly_plan
+import bench_kernels
 import bench_obs_phases
 import bench_precond
 import bench_scenarios
@@ -278,6 +286,9 @@ def main(argv=None) -> int:
     report["precond"] = bench_precond.run(args.quick)
     bench_precond.write_report(report["precond"], args.quick)
     print("  precond done")
+    report["kernels"] = bench_kernels.run(args.quick)
+    bench_kernels.write_report(report["kernels"], args.quick)
+    print("  kernels done")
     report["meta"]["total_wall_s"] = round(time.perf_counter() - t0, 2)
 
     os.makedirs(os.path.dirname(args.output), exist_ok=True)
@@ -362,6 +373,25 @@ def main(argv=None) -> int:
     print(
         f"precond: PCD {pc_sec['iteration_reduction']}x fewer NS+PP "
         f"iterations/step vs Jacobi on {pc_sec['scenario']}"
+    )
+    kn_sec = report["kernels"]
+    if not kn_sec["gate_passed"]:
+        print(
+            f"ERROR: kernel speedups update {kn_sec['update_speedup']}x / "
+            f"matvec {kn_sec['matvec_speedup']}x below the "
+            f"{kn_sec['update_gate']}x/{kn_sec['matvec_gate']}x gates on "
+            f"{kn_sec['gate_mesh']}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"kernels: update {kn_sec['update_speedup']}x, matvec "
+        f"{kn_sec['matvec_speedup']}x vs NumPy fallback "
+        + (
+            "(gates enforced)"
+            if kn_sec["gate_enforced"]
+            else "(Numba unavailable; gates waived, fallback recorded)"
+        )
     )
     return 0
 

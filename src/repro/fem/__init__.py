@@ -1,6 +1,14 @@
-"""FEM kernels: basis, GEMM-expressed operators, assembly plans, zip/unzip."""
+"""FEM kernels: basis, GEMM-expressed operators, assembly plans, zip/unzip,
+JIT-compiled fused element kernels (repro.fem.kernels)."""
 
+from . import kernels  # noqa: F401
 from .assembly import apply_dirichlet, assemble_matrix, assemble_vector  # noqa: F401
+from .kernels import (  # noqa: F401
+    BoundKernel,
+    StaleKernelError,
+    get_kernel,
+    jit_enabled,
+)
 from .matvec import MatrixFreeOperator, apply_elemental  # noqa: F401
 from .plan import (  # noqa: F401
     AssemblyPlan,

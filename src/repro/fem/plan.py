@@ -41,6 +41,7 @@ import scipy.sparse as sp
 
 from .. import obs
 from ..mesh.mesh import Mesh
+from . import kernels
 
 #: Numeric-update counters, cumulative per process: how many times each plan
 #: phase ran.  Benchmarks and tests read these to prove the symbolic phase is
@@ -127,6 +128,13 @@ class AssemblyPlan:
         self.indices = proto.indices
         self.indptr = proto.indptr
 
+        # Lazily-built diagonal sub-plan (see :meth:`diagonal`).
+        self._diag_plan = None
+
+        # Warm the JIT kernels for this element signature once per plan, so
+        # the numeric phase never pays a compile.
+        self.kernel_key = kernels.warm(mesh.dim)
+
     # ------------------------------------------------------------- numeric
 
     def check(self, mesh: Mesh) -> None:
@@ -148,8 +156,9 @@ class AssemblyPlan:
                 f"Ke shape {Ke.shape} does not match plan {self.ke_shape}"
             )
         with obs.span("assembly.numeric"):
-            vals = Ke.ravel()[self._src] * self._weight
-            data = np.bincount(self._slot, weights=vals, minlength=self.nnz)
+            data = kernels.scatter_csr(
+                Ke.ravel(), self._src, self._weight, self._slot, self.nnz
+            )
         STATS["numeric"] += 1
         obs.incr("assembly.numeric")
         # Assign the precomputed structure directly: the validating
@@ -170,6 +179,38 @@ class AssemblyPlan:
         callers holding both a plan and a mesh across remeshes)."""
         self.check(mesh)
         return self.assemble(Ke)
+
+    def diagonal(self, Ke: np.ndarray) -> np.ndarray:
+        """``assemble(Ke).diagonal()`` without assembling: scatter only the
+        expanded entries whose destination sits on the CSR diagonal.
+
+        The diagonal sub-plan preserves the full scatter's per-slot
+        summation order (masking keeps relative entry order and bincount
+        accumulates in ascending entry order), so the result is **bitwise**
+        equal to the assembled diagonal — exact on hanging-node meshes,
+        where the naive per-element ``Ke[:, i, i]`` scatter is not.
+        """
+        Ke = np.asarray(Ke, dtype=np.float64)
+        if Ke.shape != self.ke_shape:
+            raise ValueError(
+                f"Ke shape {Ke.shape} does not match plan {self.ke_shape}"
+            )
+        if self._diag_plan is None:
+            rows_of_pos = np.repeat(
+                np.arange(self.n_dofs, dtype=np.int64), np.diff(self.indptr)
+            )
+            dest_row = rows_of_pos[self._slot]
+            on_diag = dest_row == self.indices[self._slot]
+            self._diag_plan = (
+                self._src[on_diag],
+                self._weight[on_diag],
+                dest_row[on_diag],
+            )
+        d_src, d_weight, d_row = self._diag_plan
+        with obs.span("assembly.diagonal"):
+            return kernels.scatter_csr(
+                Ke.ravel(), d_src, d_weight, d_row, self.n_dofs
+            )
 
 
 # ------------------------------------------------------------------- cache
