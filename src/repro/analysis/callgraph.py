@@ -1,0 +1,336 @@
+"""Whole-program function index and call graph for the schedule extractor.
+
+The lint rules in :mod:`repro.analysis.rules` are *intra*procedural: each
+:class:`~repro.analysis.lint.FunctionContext` sees one function body.  The
+schedule extractor (:mod:`repro.analysis.schedule`) and the interprocedural
+rules R7/R8 need the opposite view: every function definition in the tree,
+resolvable by name, with a "does this (transitively) communicate?" fixpoint
+over the call graph.
+
+Resolution is deliberately name-based and repo-tuned, like the linter
+itself: this codebase always passes the communicator explicitly (``comm``
+first argument or ``self.comm``), so *a call participates in the SPMD
+schedule only if a communicator value reaches it* — either as an argument
+or because it is a :class:`~repro.mpi.comm.Comm` method.  Calls that never
+see a comm (solver math, stores, NumPy) are comm-free by construction and
+are dropped from schedules without being resolved.  ``run_spmd`` itself is
+treated as comm-free from the caller's perspective: it spawns a *nested*
+world whose schedule is analyzed separately via its entry-point function.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .lint import COLLECTIVE_FUNCTIONS, COLLECTIVE_METHODS, _call_name, _dotted
+
+#: Comm method names that are point-to-point, not collective.
+P2P_METHODS = frozenset(
+    {"send", "isend", "recv", "recv_with_status", "sendrecv", "iprobe"}
+)
+
+#: Parameter names/annotations that mark a communicator parameter.
+_COMM_PARAM_NAMES = frozenset({"comm", "world", "cur", "sub"})
+
+#: Calls that never contribute to the *enclosing* schedule even though a
+#: comm flows into them: they start a nested SPMD world (``run_spmd``),
+#: only read comm metadata, or are pure builtins taking the comm as a plain
+#: object (``getattr(comm, ...)`` in the NBX epoch counter).
+_SCHEDULE_NEUTRAL_CALLS = frozenset(
+    {
+        "run_spmd",
+        "format_rank_states",
+        "getattr",
+        "setattr",
+        "hasattr",
+        "isinstance",
+        "id",
+        "len",
+        "repr",
+        "str",
+        "type",
+        "print",
+    }
+)
+
+
+def comm_param_names(fn: ast.AST) -> list[str]:
+    """Parameters of ``fn`` that carry a communicator, in signature order.
+
+    A parameter is a communicator if it is named ``comm``/``world`` or is
+    annotated ``Comm`` (any dotted prefix).
+    """
+    out: list[str] = []
+    args = getattr(fn, "args", None)
+    if args is None:
+        return out
+    every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    for a in every:
+        if a.arg in ("comm", "world"):
+            out.append(a.arg)
+            continue
+        ann = a.annotation
+        if ann is not None:
+            label = _dotted(ann) or (
+                ann.value if isinstance(ann, ast.Constant) else None
+            )
+            if isinstance(label, str) and label.split(".")[-1] == "Comm":
+                out.append(a.arg)
+    return out
+
+
+@dataclass
+class FunctionInfo:
+    """One function definition somewhere in the analyzed tree."""
+
+    path: str
+    qualname: str  #: ``name`` or ``Class.name`` (nested defs: ``outer.inner``)
+    name: str
+    node: ast.AST  #: the FunctionDef / AsyncFunctionDef
+    class_name: Optional[str] = None
+    comm_params: list[str] = field(default_factory=list)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.path, self.qualname)
+
+    @property
+    def lineno(self) -> int:
+        return int(getattr(self.node, "lineno", 0))
+
+    def label(self) -> str:
+        return f"{os.path.basename(self.path)}:{self.qualname}"
+
+
+def _index_functions(
+    tree: ast.Module, path: str
+) -> Iterable[FunctionInfo]:
+    """Every function def in ``tree`` with its qualified name."""
+
+    def rec(node: ast.AST, prefix: str, class_name: Optional[str]):
+        for sub in getattr(node, "body", []):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qn = f"{prefix}{sub.name}" if prefix else sub.name
+                yield FunctionInfo(
+                    path=path,
+                    qualname=qn,
+                    name=sub.name,
+                    node=sub,
+                    class_name=class_name,
+                    comm_params=comm_param_names(sub),
+                )
+                yield from rec(sub, qn + ".", class_name)
+            elif isinstance(sub, ast.ClassDef):
+                yield from rec(sub, f"{prefix}{sub.name}.", sub.name)
+            elif isinstance(sub, (ast.If, ast.Try, ast.With)):
+                yield from rec(sub, prefix, class_name)
+
+    yield from rec(tree, "", None)
+
+
+def _is_comm_receiver(node: ast.AST) -> bool:
+    """Does this call receiver look like a communicator value?  Used only to
+    distinguish ``comm.send`` from e.g. ``socket.send`` — in this repo any
+    receiver whose name chain mentions comm/world/cur/sub qualifies."""
+    label = _dotted(node)
+    if label is None:
+        return False
+    parts = label.split(".")
+    return any(p in _COMM_PARAM_NAMES or p in ("_comm", "comms") for p in parts)
+
+
+def call_comm_args(call: ast.Call, comm_names: set[str]) -> list[str]:
+    """Names in ``comm_names`` that are passed (whole) as arguments."""
+    out = []
+    for a in list(call.args) + [kw.value for kw in call.keywords]:
+        if isinstance(a, ast.Name) and a.id in comm_names:
+            out.append(a.id)
+        elif isinstance(a, ast.Attribute):
+            label = _dotted(a)
+            if label in ("self.comm", "self._comm"):
+                out.append(label)
+    return out
+
+
+class Program:
+    """Index of every function in a set of files, with comm-reachability.
+
+    ``roots`` are files or directory trees; ``*.py`` files are parsed (files
+    with syntax errors are skipped — the linter reports those separately).
+    """
+
+    def __init__(self) -> None:
+        self.functions: dict[tuple[str, str], FunctionInfo] = {}
+        self.by_name: dict[str, list[FunctionInfo]] = {}
+        self.sources: dict[str, str] = {}
+        self._may_collective: Optional[dict[tuple[str, str], bool]] = None
+        self._may_communicate: Optional[dict[tuple[str, str], bool]] = None
+
+    @classmethod
+    def load(cls, roots: Iterable[str]) -> "Program":
+        prog = cls()
+        for path in _py_files(roots):
+            prog.add_file(path)
+        return prog
+
+    def add_file(self, path: str) -> None:
+        if path in self.sources:
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError):
+            return
+        self.add_tree(path, tree, source)
+
+    def add_tree(self, path: str, tree: ast.Module, source: str = "") -> None:
+        """Index an already-parsed module (in-memory sources, the linter)."""
+        if path in self.sources:
+            return
+        self.sources[path] = source
+        for info in _index_functions(tree, path):
+            self.functions[info.key] = info
+            self.by_name.setdefault(info.name, []).append(info)
+        self._may_collective = None
+        self._may_communicate = None
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve_call(
+        self, call: ast.Call, comm_names: set[str]
+    ) -> Optional[FunctionInfo]:
+        """The program function this call targets, when a communicator is
+        passed to it and the bare name resolves unambiguously.
+
+        Comm *method* calls resolve to the method on :class:`Comm` only when
+        defined exactly once in the program; free/attribute calls resolve by
+        trailing name.  Ambiguous names (several same-named defs taking a
+        comm) resolve to None — the caller then treats the call as opaque.
+        """
+        name = _call_name(call)
+        if name is None or name in _SCHEDULE_NEUTRAL_CALLS:
+            return None
+        if not call_comm_args(call, comm_names):
+            return None
+        candidates = [
+            fi for fi in self.by_name.get(name, []) if fi.comm_params
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    # -- transitive comm reachability --------------------------------------
+
+    def may_collective(self, info: FunctionInfo) -> bool:
+        """Can this function (transitively, through resolvable comm-passing
+        calls) reach a collective operation?"""
+        if self._may_collective is None:
+            self._may_collective = self._reachability(collective_only=True)
+        return self._may_collective.get(info.key, False)
+
+    def may_communicate(self, info: FunctionInfo) -> bool:
+        """Like :meth:`may_collective` but any comm op (incl. p2p)."""
+        if self._may_communicate is None:
+            self._may_communicate = self._reachability(collective_only=False)
+        return self._may_communicate.get(info.key, False)
+
+    def _direct_comm_ops(self, info: FunctionInfo, collective_only: bool) -> bool:
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            f = node.func
+            if isinstance(f, ast.Attribute):
+                if f.attr in COLLECTIVE_METHODS and _is_comm_receiver(f.value):
+                    return True
+                if (
+                    not collective_only
+                    and f.attr in P2P_METHODS
+                    and _is_comm_receiver(f.value)
+                ):
+                    return True
+            if _call_name(node) in COLLECTIVE_FUNCTIONS:
+                return True
+        return False
+
+    def _reachability(self, collective_only: bool) -> dict[tuple[str, str], bool]:
+        reach = {
+            key: self._direct_comm_ops(info, collective_only)
+            for key, info in self.functions.items()
+        }
+        # Fixpoint over comm-passing resolvable calls.
+        changed = True
+        while changed:
+            changed = False
+            for key, info in self.functions.items():
+                if reach[key]:
+                    continue
+                comm_names = set(info.comm_params) | {"comm", "cur", "sub"}
+                for node in ast.walk(info.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    callee = self.resolve_call(node, comm_names)
+                    if callee is not None and reach.get(callee.key, False):
+                        reach[key] = True
+                        changed = True
+                        break
+        return reach
+
+    def collective_chain(
+        self, info: FunctionInfo, limit: int = 8
+    ) -> list[str]:
+        """A call chain ``[f, g, ..., <collective op>]`` witnessing
+        :meth:`may_collective`, for diagnostics."""
+        chain: list[str] = [info.label()]
+        seen = {info.key}
+        cur = info
+        for _ in range(limit):
+            # Direct collective in the current function?
+            for node in ast.walk(cur.node):
+                if isinstance(node, ast.Call):
+                    f = node.func
+                    if isinstance(f, ast.Attribute) and f.attr in COLLECTIVE_METHODS:
+                        if _is_comm_receiver(f.value):
+                            chain.append(f"`{f.attr}` at line {node.lineno}")
+                            return chain
+                    name = _call_name(node)
+                    if name in COLLECTIVE_FUNCTIONS:
+                        chain.append(f"`{name}` at line {node.lineno}")
+                        return chain
+            nxt = None
+            comm_names = set(cur.comm_params) | {"comm", "cur", "sub"}
+            for node in ast.walk(cur.node):
+                if isinstance(node, ast.Call):
+                    callee = self.resolve_call(node, comm_names)
+                    if (
+                        callee is not None
+                        and callee.key not in seen
+                        and self.may_collective(callee)
+                    ):
+                        nxt = callee
+                        break
+            if nxt is None:
+                break
+            seen.add(nxt.key)
+            chain.append(nxt.label())
+            cur = nxt
+        return chain
+
+
+def _py_files(roots: Iterable[str]) -> list[str]:
+    files: list[str] = []
+    for p in roots:
+        if os.path.isdir(p):
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+                files.extend(
+                    os.path.join(dirpath, f)
+                    for f in sorted(filenames)
+                    if f.endswith(".py")
+                )
+        elif p.endswith(".py"):
+            files.append(p)
+    return files

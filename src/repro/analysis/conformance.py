@@ -1,0 +1,292 @@
+"""Runtime conformance: fingerprint streams as refinements of CommSchedules.
+
+The static half (:mod:`repro.analysis.schedule`) claims to know every
+collective an SPMD entry point can execute.  This module makes that claim
+falsifiable: ``run_spmd(..., schedule=sched)`` with ``REPRO_SPMD_CHECK=1``
+attaches a per-rank :class:`ScheduleMonitor` to the communicator, and every
+collective fingerprint published by the PR 5 runtime checker
+(:func:`repro.analysis.runtime_check.verify_collective`) must advance the
+monitor's automaton.  A collective the schedule cannot produce — or a rank
+finishing with collectives still pending — raises
+:class:`ScheduleConformanceError` naming the offending operation and what
+the schedule expected instead.
+
+**Refinement, not equality.**  The monitor compiles the schedule into an
+epsilon-NFA over the *runtime fingerprint alphabet* for this rank's concrete
+``(rank, size)``: decidable rank predicates are resolved, uniform ``range``
+loops with known bounds are unrolled, undecidable branches become
+alternations and data-dependent loops become Kleene stars.  The automaton
+therefore accepts a superset of the streams the program can really emit —
+every real stream must be accepted (soundness of extraction), while the
+model checker separately bounds how much wider the superset is.
+
+**Lowering.**  Static operation names are what the source *calls*
+(``alltoallv``, ``split_cached``); the runtime fingerprints what the
+transport *executes* (``alltoallv`` delegates to ``alltoall``; ``split``
+rendezvouses through its membership ``allgather``; ``ibarrier`` and all
+point-to-point traffic publish no fingerprint).  :data:`FINGERPRINT_LOWERING`
+is that contract in one table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .runtime_check import SpmdCheckError, checks_enabled
+from .schedule import (
+    UNKNOWN,
+    Branch,
+    Coll,
+    CommSchedule,
+    Loop,
+    Node,
+    Opaque,
+    RankEnv,
+    Recv,
+    Send,
+    Seq,
+    _bind_in_tree,
+    eval_sym,
+)
+
+#: Static op name -> tuple of runtime fingerprint symbols it emits.
+#: (``split_cached`` is handled structurally: zero-or-one ``allgather``.)
+FINGERPRINT_LOWERING: dict[str, tuple[str, ...]] = {
+    "barrier": ("barrier",),
+    "ibarrier": (),  # no fingerprint rendezvous (non-blocking)
+    "bcast": ("bcast",),
+    "gather": ("gather",),
+    "allgather": ("allgather",),
+    "scatter": ("scatter",),
+    "reduce": ("allreduce",),  # Comm.reduce delegates to allreduce
+    "allreduce": ("allreduce",),
+    "scan": ("scan",),
+    "exscan": ("exscan",),
+    "alltoall": ("alltoall",),
+    "alltoallv": ("alltoall",),  # Comm.alltoallv delegates to alltoall
+    "split": ("allgather",),  # membership rendezvous is an allgather
+}
+
+#: Unroll cap for known-bound range loops; beyond this a Kleene star is as
+#: precise as anyone needs.
+_UNROLL_CAP = 64
+
+
+class ScheduleConformanceError(SpmdCheckError):
+    """A runtime collective stream is not a refinement of the static
+    CommSchedule it was launched under."""
+
+
+class _NFA:
+    """Epsilon-NFA over fingerprint symbols.  ``None`` edge symbol = any."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.eps: dict[int, set[int]] = {}
+        self.edges: dict[int, list[tuple[Optional[str], int]]] = {}
+
+    def state(self) -> int:
+        s = self.n
+        self.n += 1
+        return s
+
+    def link_eps(self, a: int, b: int) -> None:
+        self.eps.setdefault(a, set()).add(b)
+
+    def link(self, a: int, symbol: Optional[str], b: int) -> None:
+        self.edges.setdefault(a, []).append((symbol, b))
+
+    def closure(self, states: set[int]) -> set[int]:
+        out = set(states)
+        stack = list(states)
+        while stack:
+            s = stack.pop()
+            for t in self.eps.get(s, ()):
+                if t not in out:
+                    out.add(t)
+                    stack.append(t)
+        return out
+
+    def step(self, states: set[int], symbol: str) -> set[int]:
+        nxt: set[int] = set()
+        for s in states:
+            for sym, d in self.edges.get(s, ()):
+                if sym is None or sym == symbol:
+                    nxt.add(d)
+        return self.closure(nxt)
+
+    def expected(self, states: set[int]) -> list[str]:
+        syms = {
+            sym if sym is not None else "<any>"
+            for s in states
+            for sym, _ in self.edges.get(s, ())
+        }
+        return sorted(syms)
+
+
+class _Compiler:
+    """Compiles a CommSchedule body to an NFA for one concrete rank."""
+
+    def __init__(self, nfa: _NFA, env: RankEnv):
+        self.nfa = nfa
+        self.env = env
+
+    def compile(self, node: Node, start: int) -> int:
+        if isinstance(node, Seq):
+            cur = start
+            for item in node.items:
+                cur = self.compile(item, cur)
+            return cur
+        if isinstance(node, Coll):
+            return self._coll(node, start)
+        if isinstance(node, (Send, Recv)):
+            return start  # p2p publishes no fingerprint
+        if isinstance(node, Opaque):
+            # Unresolvable comm-passing call: accept any symbols here.
+            w = self.nfa.state()
+            end = self.nfa.state()
+            self.nfa.link_eps(start, w)
+            self.nfa.link(w, None, w)
+            self.nfa.link_eps(w, end)
+            return end
+        if isinstance(node, Branch):
+            return self._branch(node, start)
+        if isinstance(node, Loop):
+            return self._loop(node, start)
+        return start
+
+    def _coll(self, node: Coll, start: int) -> int:
+        if node.op == "split_cached":
+            # Cache hit: silent.  Miss: one split (= allgather rendezvous).
+            end = self.nfa.state()
+            self.nfa.link_eps(start, end)
+            self.nfa.link(start, "allgather", end)
+            return end
+        cur = start
+        for symbol in FINGERPRINT_LOWERING.get(node.op, ()):
+            nxt = self.nfa.state()
+            self.nfa.link(cur, symbol, nxt)
+            cur = nxt
+        return cur
+
+    def _branch(self, node: Branch, start: int) -> int:
+        cond = eval_sym(node.cond, self.env)
+        if cond is not UNKNOWN:
+            return self.compile(node.then if cond else node.orelse, start)
+        then_end = self.compile(node.then, start)
+        else_end = self.compile(node.orelse, start)
+        end = self.nfa.state()
+        self.nfa.link_eps(then_end, end)
+        self.nfa.link_eps(else_end, end)
+        return end
+
+    def _loop(self, node: Loop, start: int) -> int:
+        if node.kind == "range":
+            lo = eval_sym(node.start, self.env)
+            hi = eval_sym(node.bound, self.env)
+            if (
+                isinstance(lo, int)
+                and isinstance(hi, int)
+                and hi - lo <= _UNROLL_CAP
+            ):
+                cur = start
+                for i in range(lo, hi):
+                    body = (
+                        _bind_in_tree(node.body, node.target, i)
+                        if node.target is not None
+                        else node.body
+                    )
+                    cur = self.compile(body, cur)
+                return cur
+        # Unknown/dynamic/rank-dependent trip count: Kleene star.
+        body_start = self.nfa.state()
+        body_end = self.compile(node.body, body_start)
+        end = self.nfa.state()
+        self.nfa.link_eps(start, body_start)
+        self.nfa.link_eps(start, end)  # zero iterations
+        self.nfa.link_eps(body_end, body_start)  # repeat
+        self.nfa.link_eps(body_end, end)
+        return end
+
+
+class ScheduleMonitor:
+    """Per-rank refinement monitor over the collective fingerprint stream.
+
+    Attached to the communicator as ``comm._schedule_monitor`` (propagated
+    to sub-communicators by :meth:`Comm.split`, so subcomm collectives feed
+    the same linear per-rank stream) and advanced by
+    :func:`~repro.analysis.runtime_check.verify_collective`.
+    """
+
+    def __init__(self, schedule: CommSchedule, rank: int, size: int):
+        self.schedule = schedule
+        self.rank = rank
+        self.size = size
+        self.history: list[str] = []
+        self.nfa = _NFA()
+        start = self.nfa.state()
+        self.accept = _Compiler(self.nfa, RankEnv(rank, size)).compile(
+            schedule.body, start
+        )
+        self.frontier = self.nfa.closure({start})
+
+    def advance(self, op: str) -> None:
+        """One runtime collective happened; the automaton must accept it."""
+        nxt = self.nfa.step(self.frontier, op)
+        if not nxt:
+            raise ScheduleConformanceError(self._reject_message(op))
+        self.frontier = nxt
+        self.history.append(op)
+
+    def finish(self) -> None:
+        """End of the rank's run: the automaton must be in an accept state."""
+        if self.accept not in self.frontier:
+            raise ScheduleConformanceError(
+                f"rank {self.rank}: SPMD program finished but the static "
+                f"schedule of {self.schedule.entry} still expects "
+                f"collectives (one of {self.nfa.expected(self.frontier)}); "
+                f"stream so far: {self._stream()}"
+            )
+
+    def _reject_message(self, op: str) -> str:
+        return (
+            f"rank {self.rank}: runtime collective `{op}` is not a "
+            f"refinement of the static schedule of {self.schedule.entry} "
+            f"at position {len(self.history) + 1} — the schedule expects "
+            f"{self.nfa.expected(self.frontier) or ['<end of schedule>']}; "
+            f"stream so far: {self._stream()}"
+        )
+
+    def _stream(self) -> str:
+        tail = self.history[-8:]
+        pre = "... " if len(self.history) > 8 else ""
+        return pre + (" ; ".join(tail) if tail else "(no collectives yet)")
+
+
+class MonitoredEntry:
+    """Picklable ``run_spmd`` wrapper: compile the monitor *inside* each
+    rank (rank/size are only known there), run, then require acceptance."""
+
+    def __init__(self, fn: Any, schedule: CommSchedule):
+        self.fn = fn
+        self.schedule = schedule
+
+    def __call__(self, comm: Any, *args: Any) -> Any:
+        monitor = attach_monitor(comm, self.schedule)
+        result = self.fn(comm, *args)
+        if monitor is not None:
+            monitor.finish()
+        return result
+
+
+def attach_monitor(
+    comm: Any, schedule: CommSchedule
+) -> Optional[ScheduleMonitor]:
+    """Attach a conformance monitor to ``comm`` (no-op — returning ``None``
+    — unless ``REPRO_SPMD_CHECK`` is on, mirroring the other runtime
+    checkers)."""
+    if not checks_enabled():
+        return None
+    monitor = ScheduleMonitor(schedule, comm.rank, comm.size)
+    comm._schedule_monitor = monitor
+    return monitor

@@ -114,6 +114,23 @@ RECEIVE_CALLS = frozenset(
 #: branching on them is collective-consistent.
 RANK_DEPENDENT_CALLS = frozenset({"recv", "recv_with_status", "exscan", "scan", "iprobe"})
 
+#: Collectives whose result is *replicated* — identical on every rank of the
+#: communicator even when the per-rank contributions differ.  They launder
+#: rank-taint: ``comm.allreduce(tainted)`` is uniform, so branching on it is
+#: collective-consistent.  (``gather``/``scatter``/``scan`` stay out: their
+#: results genuinely differ per rank.)
+REPLICATED_COLLECTIVES = frozenset(
+    {
+        "bcast",
+        "allgather",
+        "allreduce",
+        "allreduce_sum",
+        "allreduce_max",
+        "allreduce_min",
+        "allgatherv",
+    }
+)
+
 _SUPPRESS_RE = re.compile(
     r"#\s*spmdlint:\s*ignore\[([A-Za-z0-9_,\s]+)\]\s*(?:--\s*(\S.*))?"
 )
@@ -212,12 +229,20 @@ def _flatten_target_names(target: ast.AST) -> Iterable[str]:
 class FunctionContext:
     """Facts about one function body, computed once and shared by the rules."""
 
-    def __init__(self, fn: ast.AST, class_name: Optional[str] = None):
+    def __init__(
+        self,
+        fn: ast.AST,
+        class_name: Optional[str] = None,
+        seed_tainted: Optional[Iterable[str]] = None,
+    ):
         self.node = fn
         self.class_name = class_name
         self.name = getattr(fn, "name", "<lambda>")
         self.is_spmd = self._detect_spmd(fn)
-        self.rank_tainted: set[str] = set()
+        # ``seed_tainted`` lets interprocedural callers (the schedule
+        # extractor, R7) mark parameters whose *actual arguments* were
+        # rank-tainted at the call site before the fixpoint runs.
+        self.rank_tainted: set[str] = set(seed_tainted or ())
         self.unordered: set[str] = set()
         self.received: set[str] = set()
         self._compute_taints(fn)
@@ -251,16 +276,21 @@ class FunctionContext:
     # -- taint fixpoint ----------------------------------------------------
 
     def _expr_rank_tainted(self, node: ast.AST) -> bool:
-        for sub in ast.walk(node):
-            if isinstance(sub, ast.Attribute) and sub.attr == "rank":
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in RANK_DEPENDENT_CALLS:
                 return True
-            if isinstance(sub, ast.Name) and sub.id in self.rank_tainted:
-                return True
-            if isinstance(sub, ast.Call):
-                name = _call_name(sub)
-                if name in RANK_DEPENDENT_CALLS:
-                    return True
-        return False
+            if name in REPLICATED_COLLECTIVES:
+                # Replicated result: identical on every rank no matter how
+                # tainted the per-rank contribution was.
+                return False
+        if isinstance(node, ast.Attribute) and node.attr == "rank":
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.rank_tainted
+        return any(
+            self._expr_rank_tainted(child) for child in ast.iter_child_nodes(node)
+        )
 
     def _expr_received(self, node: ast.AST) -> bool:
         """Does this expression derive from a received message buffer?
@@ -342,7 +372,18 @@ class FunctionContext:
                 if self._annotation_unordered(a.annotation):
                     self.unordered.add(a.arg)
 
+        # Binding forms the fixpoint propagates through: plain assignments
+        # (incl. tuple unpacking via _flatten_target_names), walrus
+        # (``if (n := comm.recv(0)) ...``), aug-assign (``acc += tainted``),
+        # and annotated assignments.
         assigns = [n for n in ast.walk(fn) for _ in [0] if isinstance(n, ast.Assign)]
+        named_exprs = [n for n in ast.walk(fn) if isinstance(n, ast.NamedExpr)]
+        aug_assigns = [n for n in ast.walk(fn) if isinstance(n, ast.AugAssign)]
+        ann_assigns = [
+            n
+            for n in ast.walk(fn)
+            if isinstance(n, ast.AnnAssign) and n.value is not None
+        ]
         for_loops = [n for n in ast.walk(fn) if isinstance(n, ast.For)]
         comp_gens = [
             g
@@ -350,45 +391,63 @@ class FunctionContext:
             if isinstance(n, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp))
             for g in n.generators
         ]
+
+        def bind(names: Iterable[str], value: ast.AST) -> bool:
+            changed = False
+            names = list(names)
+            for name in names:
+                if (
+                    self._expr_rank_tainted(value)
+                    and name not in self.rank_tainted
+                ):
+                    self.rank_tainted.add(name)
+                    changed = True
+                if self._expr_unordered(value) and name not in self.unordered:
+                    self.unordered.add(name)
+                    changed = True
+                if self._expr_received(value) and name not in self.received:
+                    self.received.add(name)
+                    changed = True
+            return changed
+
         for _ in range(4):  # fixpoint over simple chains
             changed = False
             for node in assigns:
                 for target in node.targets:
-                    for name in _flatten_target_names(target):
-                        if (
-                            self._expr_rank_tainted(node.value)
-                            and name not in self.rank_tainted
-                        ):
-                            self.rank_tainted.add(name)
-                            changed = True
-                        if (
-                            self._expr_unordered(node.value)
-                            and name not in self.unordered
-                        ):
-                            self.unordered.add(name)
-                            changed = True
-                        if (
-                            self._expr_received(node.value)
-                            and name not in self.received
-                        ):
-                            self.received.add(name)
-                            changed = True
-            # Loop / comprehension targets over received containers carry
-            # received elements (``for q, (ids, vals) in incoming.items()``).
+                    changed |= bind(_flatten_target_names(target), node.value)
+            for walrus in named_exprs:
+                changed |= bind(
+                    _flatten_target_names(walrus.target), walrus.value
+                )
+            for aug in aug_assigns:
+                changed |= bind(_flatten_target_names(aug.target), aug.value)
+            for ann in ann_assigns:
+                assert ann.value is not None
+                changed |= bind(_flatten_target_names(ann.target), ann.value)
+            # Loop / comprehension targets inherit from the iterable: over a
+            # received container they carry received elements (``for q,
+            # (ids, vals) in incoming.items()``); over a rank-dependent one
+            # (``for job in todo[comm.rank::comm.size]``) they are
+            # rank-tainted.
             for loop in for_loops:
-                if self._expr_received(loop.iter):
-                    for name in _flatten_target_names(loop.target):
-                        if name not in self.received:
-                            self.received.add(name)
-                            changed = True
+                changed |= self._bind_iter_target(loop.target, loop.iter)
             for gen in comp_gens:
-                if self._expr_received(gen.iter):
-                    for name in _flatten_target_names(gen.target):
-                        if name not in self.received:
-                            self.received.add(name)
-                            changed = True
+                changed |= self._bind_iter_target(gen.target, gen.iter)
             if not changed:
                 break
+
+    def _bind_iter_target(self, target: ast.AST, it: ast.AST) -> bool:
+        changed = False
+        received = self._expr_received(it)
+        tainted = self._expr_rank_tainted(it)
+        for name in _flatten_target_names(target):
+            if received and name not in self.received:
+                self.received.add(name)
+                changed = True
+            if tainted and name not in self.rank_tainted:
+                self.rank_tainted.add(name)
+                changed = True
+        return changed
 
 
 def is_collective_call(node: ast.Call) -> bool:
@@ -467,11 +526,22 @@ def lint_source(
     source: str, path: str = "<string>", rules: Optional[Iterable[str]] = None
 ) -> list[Finding]:
     """Lint one source string; returns findings after applying suppressions."""
+    return lint_source_ex(source, path, rules)[0]
+
+
+def lint_source_ex(
+    source: str, path: str = "<string>", rules: Optional[Iterable[str]] = None
+) -> tuple[list[Finding], dict[str, int]]:
+    """Like :func:`lint_source` but also returns per-rule counts of *used*
+    suppressions (for the CLI summary)."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [Finding("R0", path, exc.lineno or 0, exc.offset or 0,
-                        f"syntax error: {exc.msg}")]
+        return (
+            [Finding("R0", path, exc.lineno or 0, exc.offset or 0,
+                     f"syntax error: {exc.msg}")],
+            {},
+        )
     active = all_rules()
     if rules is not None:
         wanted = set(rules)
@@ -481,11 +551,13 @@ def lint_source(
         raw.extend(rule.check_module(tree, path))
 
     suppressions = _collect_suppressions(source)
+    suppressed: dict[str, int] = {}
     kept: list[Finding] = []
     for f in sorted(raw, key=lambda f: (f.line, f.col, f.rule)):
         sup = suppressions.get(f.line)
         if sup is not None and f.rule in sup.rules:
             sup.used = True
+            suppressed[f.rule] = suppressed.get(f.rule, 0) + 1
             continue
         kept.append(f)
     # A suppression without a justification is itself a finding (R0):
@@ -500,7 +572,7 @@ def lint_source(
                 )
             )
     kept.sort(key=lambda f: (f.line, f.col, f.rule))
-    return kept
+    return kept, suppressed
 
 
 def lint_file(path: str, rules: Optional[Iterable[str]] = None) -> list[Finding]:
@@ -512,6 +584,14 @@ def lint_paths(
     paths: Iterable[str], rules: Optional[Iterable[str]] = None
 ) -> list[Finding]:
     """Lint files and directory trees (``*.py``, sorted for stable output)."""
+    return lint_paths_ex(paths, rules)[0]
+
+
+def lint_paths_ex(
+    paths: Iterable[str], rules: Optional[Iterable[str]] = None
+) -> tuple[list[Finding], dict[str, int]]:
+    """Like :func:`lint_paths` but also returns per-rule used-suppression
+    counts aggregated over all files."""
     files: list[str] = []
     for p in paths:
         if os.path.isdir(p):
@@ -525,6 +605,15 @@ def lint_paths(
         else:
             files.append(p)
     out: list[Finding] = []
-    for f in files:
-        out.extend(lint_file(f, rules))
-    return out
+    counts: dict[str, int] = {}
+    for fname in files:
+        try:
+            with open(fname, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError:
+            continue
+        findings, sup = lint_source_ex(source, fname, rules)
+        out.extend(findings)
+        for rule, n in sup.items():
+            counts[rule] = counts.get(rule, 0) + n
+    return out, counts

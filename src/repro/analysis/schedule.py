@@ -1,0 +1,1649 @@
+"""CommSchedule IR: whole-program SPMD communication-schedule extraction.
+
+The runtime collective-mismatch checker (:mod:`repro.analysis.runtime_check`)
+can only report a divergence *while it happens*; spmdlint's R1 can only see
+one function at a time.  This module closes the gap in both directions:
+
+* :func:`extract_schedule` compiles an SPMD entry point — any function that
+  receives a :class:`~repro.mpi.comm.Comm` — into a **CommSchedule**: an
+  abstract per-rank program over collectives, point-to-point sends/receives,
+  symbolic loop bounds and rank predicates.  Extraction is interprocedural:
+  calls that pass the communicator to another function in the program are
+  inlined (depth- and cycle-guarded), and the rank-taint lattice of
+  :class:`~repro.analysis.lint.FunctionContext` is threaded through call
+  sites, so a helper called with rank-dependent arguments is analyzed with
+  its parameters tainted.
+
+* :func:`check_schedule` is a small model checker: it symbolically executes
+  ``nranks`` ranks over the schedule — evaluating rank predicates, unrolling
+  ``range`` loops whose bounds are known, tracking sub-communicator
+  membership through evaluable ``split`` colors — and reports deadlocks
+  (mismatched collective sequences, rule **R7** when reached through a
+  helper chain) and orphaned point-to-point operations (rule **R8**) with a
+  per-rank trace naming the diverging operation.  It is the static twin of
+  :class:`~repro.analysis.runtime_check.CollectiveMismatchError`.
+
+* :meth:`CommSchedule.to_dict` is the JSON "program plan" artifact consumed
+  by ``python -m repro.analysis --schedule`` and, eventually, the ROADMAP's
+  compiled MPI backend: the collective sequence and exchange structure of a
+  step, pre-resolved before any rank executes.
+
+The dynamic half of the contract lives in
+:mod:`repro.analysis.conformance`: with ``REPRO_SPMD_CHECK=1`` the runtime
+fingerprint stream of every rank is checked to be a *refinement* of the
+static schedule compiled here.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import os
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Union
+
+from .callgraph import (
+    P2P_METHODS,
+    _SCHEDULE_NEUTRAL_CALLS,
+    FunctionInfo,
+    Program,
+    call_comm_args,
+    comm_param_names,
+)
+from .lint import (
+    COLLECTIVE_FUNCTIONS,
+    COLLECTIVE_METHODS,
+    Finding,
+    FunctionContext,
+    _call_name,
+    _collect_suppressions,
+    _dotted,
+    _flatten_target_names,
+)
+
+#: Inlining guard: maximum call depth through comm-passing helpers.
+MAX_INLINE_DEPTH = 16
+
+#: Model-checker guard: maximum number of uniform-choice combinations
+#: explored before falling back to arm-equality checks.
+MAX_CHOICES = 64
+
+#: Sentinel for "cannot be evaluated statically".
+UNKNOWN = "<?>"
+
+_ROOT_TOKEN = "c0"
+
+
+class ScheduleError(RuntimeError):
+    """Extraction failed structurally (not a program defect)."""
+
+
+# ==========================================================================
+# Symbolic expressions
+# ==========================================================================
+
+
+@dataclass
+class CommRef:
+    """A binding that holds a communicator (identified by schedule token)."""
+
+    token: str
+
+
+@dataclass
+class SymExpr:
+    """Expression source text plus the (symbolic) environment it closes over.
+
+    ``env`` maps names to ``SymExpr`` / :class:`CommRef` / Python constants;
+    inlined call frames chain environments by substitution at bind time.
+    The AST is parsed lazily and never pickled (schedules ship to forked
+    worker processes for conformance checking).
+    """
+
+    text: str
+    env: dict[str, Any] = field(default_factory=dict)
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {"text": self.text, "env": self.env}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.text = state["text"]
+        self.env = state["env"]
+
+    def tree(self) -> Optional[ast.expr]:
+        cached = self.__dict__.get("_tree", False)
+        if cached is False:
+            try:
+                parsed: Optional[ast.expr] = ast.parse(
+                    self.text.strip() or "None", mode="eval"
+                ).body
+            except SyntaxError:
+                parsed = None
+            self.__dict__["_tree"] = parsed
+            return parsed
+        return cached  # type: ignore[return-value]
+
+    def sig(self, depth: int = 0) -> str:
+        """Canonical-ish text with bound names resolved (for matching and
+        diagnostics)."""
+        if depth > 4 or not self.env:
+            return self.text
+        out = self.text
+        for name, val in sorted(self.env.items(), key=lambda kv: -len(kv[0])):
+            if isinstance(val, SymExpr):
+                rep = val.sig(depth + 1)
+            elif isinstance(val, CommRef):
+                rep = val.token
+            else:
+                rep = repr(val)
+            out = _subst_name(out, name, rep)
+        return out
+
+
+def _subst_name(text: str, name: str, rep: str) -> str:
+    """Whole-word textual substitution (diagnostics only — evaluation walks
+    the AST with the environment, never this string)."""
+    import re
+
+    return re.sub(rf"\b{re.escape(name)}\b", rep, text)
+
+
+class RankEnv:
+    """Per-rank evaluation context for one model-checker rank.
+
+    ``comm_env[token] = (rank, size)`` gives this rank's view of each
+    communicator it belongs to; unknown tokens evaluate to :data:`UNKNOWN`.
+    """
+
+    def __init__(self, rank: int, size: int):
+        self.comm_env: dict[str, tuple[int, int]] = {_ROOT_TOKEN: (rank, size)}
+
+    def rank_of(self, token: str) -> Any:
+        pair = self.comm_env.get(token)
+        return pair[0] if pair is not None else UNKNOWN
+
+    def size_of(self, token: str) -> Any:
+        pair = self.comm_env.get(token)
+        return pair[1] if pair is not None else UNKNOWN
+
+
+def eval_sym(
+    expr: Optional[SymExpr],
+    rank_env: Optional[RankEnv],
+    extra: Optional[dict[str, Any]] = None,
+) -> Any:
+    """Evaluate a symbolic expression for one rank; :data:`UNKNOWN` when any
+    needed fact is missing.  Handles constants, bound names, ``comm.rank`` /
+    ``comm.size`` attribute reads, arithmetic/comparison/boolean operators,
+    ``is (not) None``, and a few pure builtins."""
+    if expr is None:
+        return UNKNOWN
+    tree = expr.tree()
+    if tree is None:
+        return UNKNOWN
+    return _eval_node(tree, expr.env, rank_env, extra or {})
+
+
+def _eval_node(
+    node: ast.AST,
+    env: dict[str, Any],
+    rank_env: Optional[RankEnv],
+    extra: dict[str, Any],
+) -> Any:
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        if node.id in extra:
+            return extra[node.id]
+        if node.id in env:
+            val = env[node.id]
+            if isinstance(val, SymExpr):
+                return eval_sym(val, rank_env)
+            if isinstance(val, CommRef):
+                return val
+            return val
+        return UNKNOWN
+    if isinstance(node, ast.Attribute):
+        base = _eval_node(node.value, env, rank_env, extra)
+        if isinstance(base, CommRef) and rank_env is not None:
+            if node.attr == "rank":
+                return rank_env.rank_of(base.token)
+            if node.attr == "size":
+                return rank_env.size_of(base.token)
+        return UNKNOWN
+    if isinstance(node, ast.UnaryOp):
+        v = _eval_node(node.operand, env, rank_env, extra)
+        if v is UNKNOWN or isinstance(v, CommRef):
+            return UNKNOWN
+        try:
+            if isinstance(node.op, ast.USub):
+                return -v
+            if isinstance(node.op, ast.UAdd):
+                return +v
+            if isinstance(node.op, ast.Not):
+                return not v
+        except TypeError:
+            return UNKNOWN
+        return UNKNOWN
+    if isinstance(node, ast.BinOp):
+        a = _eval_node(node.left, env, rank_env, extra)
+        b = _eval_node(node.right, env, rank_env, extra)
+        if a is UNKNOWN or b is UNKNOWN:
+            return UNKNOWN
+        try:
+            if isinstance(node.op, ast.Add):
+                return a + b
+            if isinstance(node.op, ast.Sub):
+                return a - b
+            if isinstance(node.op, ast.Mult):
+                return a * b
+            if isinstance(node.op, ast.FloorDiv):
+                return a // b
+            if isinstance(node.op, ast.Mod):
+                return a % b
+            if isinstance(node.op, ast.Div):
+                return a / b
+        except (TypeError, ZeroDivisionError):
+            return UNKNOWN
+        return UNKNOWN
+    if isinstance(node, ast.BoolOp):
+        vals = [_eval_node(v, env, rank_env, extra) for v in node.values]
+        if isinstance(node.op, ast.And):
+            if any(v is False for v in vals):
+                return False
+            if all(v is not UNKNOWN for v in vals):
+                return vals[-1]
+        else:  # Or
+            for v in vals:
+                if v is not UNKNOWN and v:
+                    return v
+            if all(v is not UNKNOWN for v in vals):
+                return vals[-1]
+        return UNKNOWN
+    if isinstance(node, ast.Compare):
+        left = _eval_node(node.left, env, rank_env, extra)
+        result: Any = True
+        for op, comparator in zip(node.ops, node.comparators):
+            right = _eval_node(comparator, env, rank_env, extra)
+            if isinstance(op, (ast.Is, ast.IsNot)) and (
+                left is None or right is None
+            ):
+                # `x is None` is decidable whenever either side evaluated
+                # (UNKNOWN means "some value we cannot compute", which for
+                # a comparison *against the None literal* stays unknown).
+                if left is UNKNOWN or right is UNKNOWN:
+                    return UNKNOWN
+                same = left is None and right is None
+                result = same if isinstance(op, ast.Is) else not same
+                left = right
+                continue
+            if left is UNKNOWN or right is UNKNOWN:
+                return UNKNOWN
+            try:
+                if isinstance(op, ast.Eq):
+                    ok = left == right
+                elif isinstance(op, ast.NotEq):
+                    ok = left != right
+                elif isinstance(op, ast.Lt):
+                    ok = left < right
+                elif isinstance(op, ast.LtE):
+                    ok = left <= right
+                elif isinstance(op, ast.Gt):
+                    ok = left > right
+                elif isinstance(op, ast.GtE):
+                    ok = left >= right
+                elif isinstance(op, ast.Is):
+                    ok = left is right
+                elif isinstance(op, ast.IsNot):
+                    ok = left is not right
+                else:
+                    return UNKNOWN
+            except TypeError:
+                return UNKNOWN
+            if not ok:
+                return False
+            left = right
+        return result
+    if isinstance(node, ast.IfExp):
+        t = _eval_node(node.test, env, rank_env, extra)
+        if t is UNKNOWN:
+            return UNKNOWN
+        branch = node.body if t else node.orelse
+        return _eval_node(branch, env, rank_env, extra)
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        if name in ("int", "max", "min", "len", "abs"):
+            vals = [_eval_node(a, env, rank_env, extra) for a in node.args]
+            if any(v is UNKNOWN or isinstance(v, CommRef) for v in vals):
+                return UNKNOWN
+            try:
+                return {"int": int, "max": max, "min": min, "len": len, "abs": abs}[
+                    str(name)
+                ](*vals)
+            except (TypeError, ValueError):
+                return UNKNOWN
+        return UNKNOWN
+    return UNKNOWN
+
+
+# ==========================================================================
+# IR nodes
+# ==========================================================================
+
+
+@dataclass
+class Node:
+    loc: str = ""
+
+    def to_dict(self) -> dict[str, Any]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass
+class Seq(Node):
+    items: list[Node] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": "seq", "items": [n.to_dict() for n in self.items]}
+
+
+@dataclass
+class Coll(Node):
+    """One collective operation on communicator ``comm`` (schedule token).
+
+    ``op`` is the *static* name as called (``barrier``, ``alltoallv``,
+    ``split``, ``split_cached``, ``ibarrier``); the runtime-fingerprint
+    lowering lives in :data:`FINGERPRINT_LOWERING`.
+    """
+
+    op: str = ""
+    comm: str = _ROOT_TOKEN
+    color: Optional[SymExpr] = None  #: split only
+    new_token: Optional[str] = None  #: split only
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "kind": "coll", "op": self.op, "comm": self.comm, "loc": self.loc,
+        }
+        if self.color is not None:
+            d["color"] = self.color.sig()
+        if self.new_token is not None:
+            d["new_comm"] = self.new_token
+        return d
+
+
+@dataclass
+class Send(Node):
+    dest: Optional[SymExpr] = None
+    tag: Optional[SymExpr] = None
+    comm: str = _ROOT_TOKEN
+    dynamic: bool = False  #: under a data-dependent loop/branch
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "send", "comm": self.comm, "loc": self.loc,
+            "dest": self.dest.sig() if self.dest else UNKNOWN,
+            "tag": self.tag.sig() if self.tag else "0",
+            "dynamic": self.dynamic,
+        }
+
+
+@dataclass
+class Recv(Node):
+    source: Optional[SymExpr] = None
+    tag: Optional[SymExpr] = None
+    comm: str = _ROOT_TOKEN
+    dynamic: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "recv", "comm": self.comm, "loc": self.loc,
+            "source": self.source.sig() if self.source else "ANY",
+            "tag": self.tag.sig() if self.tag else "ANY",
+            "dynamic": self.dynamic,
+        }
+
+
+@dataclass
+class Branch(Node):
+    cond: Optional[SymExpr] = None
+    rank_dependent: bool = False
+    then: Seq = field(default_factory=Seq)
+    orelse: Seq = field(default_factory=Seq)
+    via: str = ""  #: inline chain (R7 attribution), e.g. "f -> g"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "branch", "loc": self.loc,
+            "cond": self.cond.sig() if self.cond else UNKNOWN,
+            "rank_dependent": self.rank_dependent,
+            "then": self.then.to_dict(), "orelse": self.orelse.to_dict(),
+        }
+
+
+@dataclass
+class Loop(Node):
+    kind: str = "dynamic"  #: "range" | "dynamic" | "rank"
+    bound: Optional[SymExpr] = None  #: iteration count (range loops)
+    start: Optional[SymExpr] = None
+    target: Optional[str] = None  #: loop variable (range loops)
+    body: Seq = field(default_factory=Seq)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": f"loop.{self.kind}", "loc": self.loc,
+            "bound": self.bound.sig() if self.bound else UNKNOWN,
+            "target": self.target,
+            "body": self.body.to_dict(),
+        }
+
+
+@dataclass
+class Opaque(Node):
+    """A call the extractor could not resolve but that receives the
+    communicator — it *may* communicate arbitrarily."""
+
+    name: str = "?"
+    reason: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "opaque", "name": self.name, "loc": self.loc,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class CommSchedule:
+    """The extracted schedule of one SPMD entry point."""
+
+    entry: str  #: human label, e.g. "spmd_programs.py:collectives_program"
+    path: str
+    qualname: str
+    body: Seq = field(default_factory=Seq)
+    opaque: list[str] = field(default_factory=list)  #: imprecision notes
+    inlined: list[str] = field(default_factory=list)  #: helpers inlined
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "entry": self.entry,
+            "path": self.path,
+            "qualname": self.qualname,
+            "schedule": self.body.to_dict(),
+            "opaque": list(self.opaque),
+            "inlined": sorted(set(self.inlined)),
+            "ops": count_ops(self.body),
+        }
+
+    def is_comm_free(self) -> bool:
+        return not any(True for _ in iter_nodes(self.body))
+
+
+def iter_nodes(node: Node) -> Iterable[Node]:
+    """All comm-relevant leaves (Coll/Send/Recv/Opaque) under ``node``."""
+    if isinstance(node, Seq):
+        for item in node.items:
+            yield from iter_nodes(item)
+    elif isinstance(node, Branch):
+        yield from iter_nodes(node.then)
+        yield from iter_nodes(node.orelse)
+    elif isinstance(node, Loop):
+        yield from iter_nodes(node.body)
+    elif isinstance(node, (Coll, Send, Recv, Opaque)):
+        yield node
+
+
+def count_ops(node: Any) -> dict[str, int]:
+    if isinstance(node, CommSchedule):
+        node = node.body
+    out: dict[str, int] = {}
+    for leaf in iter_nodes(node):
+        key = (
+            f"coll.{leaf.op}" if isinstance(leaf, Coll)
+            else "send" if isinstance(leaf, Send)
+            else "recv" if isinstance(leaf, Recv)
+            else "opaque"
+        )
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+# ==========================================================================
+# Extraction
+# ==========================================================================
+
+
+#: Comm methods that yield received, rank-dependent data (taint seeds for
+#: predicates inside the schedule, mirrored from the lint lattice).
+_RANK_DEP_METHODS = frozenset({"recv", "recv_with_status", "iprobe", "scan", "exscan"})
+
+
+class _Frame:
+    """One (possibly inlined) function during extraction."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        bindings: dict[str, Any],
+        ctx: FunctionContext,
+        chain: tuple[str, ...],
+    ):
+        self.info = info
+        self.bindings = bindings  #: name -> SymExpr | CommRef | constant
+        self.ctx = ctx
+        self.chain = chain  #: inline chain labels (for diagnostics)
+
+    def comm_token(self, node: ast.AST) -> Optional[str]:
+        """Schedule token of an expression, if it denotes a communicator."""
+        if isinstance(node, ast.Name):
+            val = self.bindings.get(node.id)
+            if isinstance(val, CommRef):
+                return val.token
+            return None
+        label = _dotted(node)
+        if label in ("self.comm", "self._comm"):
+            val = self.bindings.get(label)
+            if isinstance(val, CommRef):
+                return val.token
+        return None
+
+    def sym(self, node: ast.AST) -> SymExpr:
+        text = ast.unparse(node)
+        names = {
+            n.id for n in ast.walk(node) if isinstance(n, ast.Name)
+        }
+        env = {n: self.bindings[n] for n in names if n in self.bindings}
+        # Attribute roots like `self.comm.rank`.
+        for sub in ast.walk(node):
+            label = _dotted(sub)
+            if label in ("self.comm", "self._comm") and label in self.bindings:
+                env[label.split(".")[0]] = self.bindings[label]
+                text = text.replace(label, label.split(".", 1)[1])
+        return SymExpr(text, env)
+
+    def tainted(self, node: ast.AST) -> bool:
+        return self.ctx._expr_rank_tainted(node)
+
+
+class Extractor:
+    """Compiles one entry point into a :class:`CommSchedule`."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._token_counter = 0
+        self.schedule: Optional[CommSchedule] = None
+        self._sup_cache: dict[str, dict[int, Any]] = {}
+
+    def _suppressed(self, frame: "_Frame", node: ast.AST) -> bool:
+        """Is there a ``# spmdlint: ignore[R1/R7]`` on this line?  The same
+        escape hatch the linter honors: the author asserts the predicate is
+        collectively consistent, so the branch is modeled as uniform."""
+        path = frame.info.path
+        sups = self._sup_cache.get(path)
+        if sups is None:
+            src = self.program.sources.get(path, "")
+            sups = _collect_suppressions(src) if src else {}
+            self._sup_cache[path] = sups
+        sup = sups.get(getattr(node, "lineno", -1))
+        return sup is not None and bool({"R1", "R7"} & set(sup.rules))
+
+    # -- public ------------------------------------------------------------
+
+    def extract(
+        self,
+        info: FunctionInfo,
+        comm_param: Optional[str] = None,
+    ) -> CommSchedule:
+        self._token_counter = 0
+        sched = CommSchedule(
+            entry=info.label(), path=info.path, qualname=info.qualname
+        )
+        self.schedule = sched
+        bindings: dict[str, Any] = {}
+        comm_name = comm_param or (
+            info.comm_params[0] if info.comm_params else None
+        )
+        if comm_name is None:
+            # Methods reaching the comm through self.
+            bindings["self.comm"] = CommRef(_ROOT_TOKEN)
+            bindings["self._comm"] = CommRef(_ROOT_TOKEN)
+        else:
+            bindings[comm_name] = CommRef(_ROOT_TOKEN)
+        _bind_defaults(info.node, bindings, {})
+        ctx = FunctionContext(info.node, info.class_name)
+        frame = _Frame(info, bindings, ctx, (info.label(),))
+        sched.body = self._block(
+            list(getattr(info.node, "body", [])), frame, depth=0, dynamic=False
+        )
+        return sched
+
+    # -- statement walking --------------------------------------------------
+
+    def _block(
+        self, stmts: list[ast.stmt], frame: _Frame, depth: int, dynamic: bool
+    ) -> Seq:
+        """Extract a statement block.  Early ``return``/``raise`` inside a
+        branch folds the *rest of the block* into the non-exiting arm, so a
+        rank taking the exit simply has a shorter schedule."""
+        seq = Seq(items=[])
+        for i, stmt in enumerate(stmts):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.If):
+                then_term = _always_exits(stmt.body)
+                else_term = _always_exits(stmt.orelse) if stmt.orelse else False
+                then_seq = self._block(stmt.body, frame, depth, dynamic)
+                else_seq = self._block(stmt.orelse, frame, depth, dynamic)
+                rest = stmts[i + 1:]
+                if then_term and not else_term and rest:
+                    cont = self._block(rest, frame, depth, dynamic)
+                    else_seq.items.extend(cont.items)
+                    seq.items.append(self._branch(stmt, then_seq, else_seq, frame))
+                    return seq
+                if else_term and not then_term and rest:
+                    cont = self._block(rest, frame, depth, dynamic)
+                    then_seq.items.extend(cont.items)
+                    seq.items.append(self._branch(stmt, then_seq, else_seq, frame))
+                    return seq
+                seq.items.append(self._branch(stmt, then_seq, else_seq, frame))
+                if then_term and else_term:
+                    return seq
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                seq.items.extend(self._exprs_of(stmt.iter, frame, depth, dynamic))
+                seq.items.append(self._for(stmt, frame, depth, dynamic))
+                continue
+            if isinstance(stmt, ast.While):
+                seq.items.extend(self._exprs_of(stmt.test, frame, depth, dynamic))
+                tainted = frame.tainted(stmt.test) and not self._suppressed(
+                    frame, stmt
+                )
+                body = self._block(
+                    list(stmt.body), frame, depth, dynamic=True
+                )
+                kind = "rank" if tainted else "dynamic"
+                seq.items.append(
+                    Loop(loc=self._loc(frame, stmt), kind=kind, body=body)
+                )
+                continue
+            if isinstance(stmt, ast.Try):
+                for part in (stmt.body, stmt.orelse, stmt.finalbody):
+                    seq.items.extend(self._block(part, frame, depth, dynamic).items)
+                for h in stmt.handlers:
+                    hseq = self._block(h.body, frame, depth, dynamic)
+                    if hseq.items:
+                        seq.items.append(
+                            Branch(
+                                loc=self._loc(frame, h),
+                                cond=SymExpr("<exception>"),
+                                rank_dependent=False,
+                                then=hseq,
+                                orelse=Seq(items=[]),
+                            )
+                        )
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    seq.items.extend(
+                        self._exprs_of(item.context_expr, frame, depth, dynamic)
+                    )
+                seq.items.extend(self._block(list(stmt.body), frame, depth, dynamic).items)
+                continue
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                if getattr(stmt, "value", None) is not None:
+                    seq.items.extend(
+                        self._exprs_of(stmt.value, frame, depth, dynamic)
+                    )
+                return seq
+            if isinstance(stmt, ast.Assign):
+                seq.items.extend(
+                    self._assign(stmt, frame, depth, dynamic)
+                )
+                continue
+            if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                if stmt.value is not None:
+                    seq.items.extend(self._exprs_of(stmt.value, frame, depth, dynamic))
+                continue
+            # Expression statements, asserts, dels, etc.
+            for child in ast.iter_child_nodes(stmt):
+                seq.items.extend(self._exprs_of(child, frame, depth, dynamic))
+        return seq
+
+    def _branch(
+        self, stmt: ast.If, then_seq: Seq, else_seq: Seq, frame: _Frame
+    ) -> Branch:
+        return Branch(
+            loc=self._loc(frame, stmt),
+            cond=frame.sym(stmt.test),
+            rank_dependent=(
+                frame.tainted(stmt.test) and not self._suppressed(frame, stmt)
+            ),
+            then=then_seq,
+            orelse=else_seq,
+            via=" -> ".join(frame.chain),
+        )
+
+    def _for(
+        self, stmt: Union[ast.For, ast.AsyncFor], frame: _Frame, depth: int,
+        dynamic: bool,
+    ) -> Loop:
+        loc = self._loc(frame, stmt)
+        tainted = frame.tainted(stmt.iter) and not self._suppressed(frame, stmt)
+        it = stmt.iter
+        target = (
+            stmt.target.id if isinstance(stmt.target, ast.Name) else None
+        )
+        # Loop targets shadow outer bindings; a communicator-holding name
+        # rebound by the loop stays a communicator on a fresh (unknown
+        # membership) token, anything else becomes unknown.
+        for tname in _flatten_target_names(stmt.target):
+            if isinstance(frame.bindings.get(tname), CommRef):
+                frame.bindings[tname] = CommRef(self._new_token(loc))
+            else:
+                frame.bindings.pop(tname, None)
+        if (
+            not tainted
+            and isinstance(it, ast.Call)
+            and _call_name(it) in ("range", "enumerate")
+        ):
+            args = it.args
+            if _call_name(it) == "range" and 1 <= len(args) <= 2:
+                start = frame.sym(args[0]) if len(args) == 2 else SymExpr("0")
+                stop = frame.sym(args[-1])
+                body = self._block(list(stmt.body), frame, depth, dynamic)
+                return Loop(
+                    loc=loc, kind="range", bound=stop, start=start,
+                    target=target, body=body,
+                )
+        body = self._block(list(stmt.body), frame, depth, dynamic=True)
+        return Loop(loc=loc, kind="rank" if tainted else "dynamic", body=body)
+
+    def _assign(
+        self, stmt: ast.Assign, frame: _Frame, depth: int, dynamic: bool
+    ) -> list[Node]:
+        """Assignment: track communicator bindings, then treat the value as
+        an expression."""
+        out = self._exprs_of(stmt.value, frame, depth, dynamic)
+        # Alias tracking: `cur = comm`, `sub = comm.split(...)` (the split
+        # itself was emitted by _exprs_of, which records the fresh token in
+        # self._last_split_token).
+        value_token: Optional[str] = frame.comm_token(stmt.value)
+        if value_token is None and isinstance(stmt.value, ast.Call):
+            name = _call_name(stmt.value)
+            if name in ("split", "split_cached"):
+                value_token = self.__dict__.pop("_last_split_token", None)
+        if value_token is not None:
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    frame.bindings[t.id] = CommRef(value_token)
+        else:
+            for t in stmt.targets:
+                if not isinstance(t, ast.Name):
+                    continue
+                if isinstance(frame.bindings.get(t.id), CommRef):
+                    # A communicator-holding name reassigned to something we
+                    # cannot resolve (``cur = sub`` walking the k-way
+                    # ladder): it stays a communicator, on a fresh token
+                    # with unknown membership — dropping it would silently
+                    # erase that communicator's collectives.
+                    frame.bindings[t.id] = CommRef(
+                        self._new_token(self._loc(frame, stmt))
+                    )
+                elif not _has_comm_op(stmt.value):
+                    # Bind plain `name = <expr>` symbolically so predicates
+                    # downstream can evaluate through it.
+                    frame.bindings[t.id] = frame.sym(stmt.value)
+                else:
+                    frame.bindings.pop(t.id, None)
+        return out
+
+    # -- expression walking -------------------------------------------------
+
+    def _exprs_of(
+        self, node: ast.AST, frame: _Frame, depth: int, dynamic: bool
+    ) -> list[Node]:
+        """Comm operations inside one expression, in left-to-right order."""
+        out: list[Node] = []
+        if isinstance(node, ast.Call):
+            # Evaluation order: the callee expression first (method chains
+            # like ``comm.recv(...).sum()`` hide a comm op inside ``func``),
+            # then arguments, then the call itself.
+            if isinstance(node.func, ast.Attribute):
+                out.extend(self._exprs_of(node.func.value, frame, depth, dynamic))
+            for child in list(node.args) + [kw.value for kw in node.keywords]:
+                out.extend(self._exprs_of(child, frame, depth, dynamic))
+            out.extend(self._call(node, frame, depth, dynamic))
+            return out
+        if isinstance(node, ast.IfExp):
+            out.extend(self._exprs_of(node.test, frame, depth, dynamic))
+            then_ops = self._exprs_of(node.body, frame, depth, dynamic)
+            else_ops = self._exprs_of(node.orelse, frame, depth, dynamic)
+            if then_ops or else_ops:
+                out.append(
+                    Branch(
+                        loc=self._loc(frame, node),
+                        cond=frame.sym(node.test),
+                        rank_dependent=frame.tainted(node.test),
+                        then=Seq(items=then_ops),
+                        orelse=Seq(items=else_ops),
+                        via=" -> ".join(frame.chain),
+                    )
+                )
+            return out
+        for child in ast.iter_child_nodes(node):
+            out.extend(self._exprs_of(child, frame, depth, dynamic))
+        return out
+
+    def _call(
+        self, node: ast.Call, frame: _Frame, depth: int, dynamic: bool
+    ) -> list[Node]:
+        fn = node.func
+        loc = self._loc(frame, node)
+        name = _call_name(node)
+        # -- Comm method calls ------------------------------------------
+        if isinstance(fn, ast.Attribute):
+            token = frame.comm_token(fn.value)
+            if token is not None:
+                if fn.attr in ("split", "split_cached"):
+                    new = self._new_token(loc)
+                    self.__dict__["_last_split_token"] = new
+                    color = node.args[0] if node.args else None
+                    for kw in node.keywords:
+                        if kw.arg == "color":
+                            color = kw.value
+                    return [
+                        Coll(
+                            loc=loc, op=fn.attr, comm=token,
+                            color=frame.sym(color) if color is not None else None,
+                            new_token=new,
+                        )
+                    ]
+                if fn.attr in COLLECTIVE_METHODS:
+                    return [Coll(loc=loc, op=fn.attr, comm=token)]
+                if fn.attr in ("send", "isend"):
+                    dest = _arg(node, 1, "dest")
+                    tag = _arg(node, 2, "tag")
+                    return [
+                        Send(
+                            loc=loc, comm=token, dynamic=dynamic,
+                            dest=frame.sym(dest) if dest is not None else None,
+                            tag=frame.sym(tag) if tag is not None else None,
+                        )
+                    ]
+                if fn.attr in ("recv", "recv_with_status"):
+                    src = _arg(node, 0, "source")
+                    tag = _arg(node, 1, "tag")
+                    return [
+                        Recv(
+                            loc=loc, comm=token, dynamic=dynamic,
+                            source=frame.sym(src) if src is not None else None,
+                            tag=frame.sym(tag) if tag is not None else None,
+                        )
+                    ]
+                if fn.attr == "sendrecv":
+                    dest = _arg(node, 1, "dest")
+                    src = _arg(node, 2, "source")
+                    tag = _arg(node, 3, "tag")
+                    return [
+                        Send(
+                            loc=loc, comm=token, dynamic=dynamic,
+                            dest=frame.sym(dest) if dest is not None else None,
+                            tag=frame.sym(tag) if tag is not None else None,
+                        ),
+                        Recv(
+                            loc=loc, comm=token, dynamic=dynamic,
+                            source=frame.sym(src) if src is not None else None,
+                            tag=frame.sym(tag) if tag is not None else None,
+                        ),
+                    ]
+                if fn.attr in ("iprobe", "ibarrier"):
+                    return []  # non-blocking; no rendezvous of their own
+        # -- comm-passing program calls: inline -------------------------
+        if name in _SCHEDULE_NEUTRAL_CALLS:
+            return []
+        comm_args = call_comm_args(node, _comm_names(frame))
+        if not comm_args:
+            return []  # no communicator reaches it: comm-free by construction
+        callee = self.program.resolve_call(node, _comm_names(frame))
+        if callee is None:
+            note = f"{name} at {loc} (unresolved comm-passing call)"
+            assert self.schedule is not None
+            self.schedule.opaque.append(note)
+            return [Opaque(loc=loc, name=str(name), reason="unresolved")]
+        if depth >= MAX_INLINE_DEPTH or callee.label() in frame.chain:
+            reason = "depth" if depth >= MAX_INLINE_DEPTH else "recursion"
+            assert self.schedule is not None
+            self.schedule.opaque.append(f"{name} at {loc} ({reason} limit)")
+            return [Opaque(loc=loc, name=str(name), reason=reason)]
+        return self._inline(node, callee, frame, depth, dynamic)
+
+    def _inline(
+        self,
+        call: ast.Call,
+        callee: FunctionInfo,
+        frame: _Frame,
+        depth: int,
+        dynamic: bool,
+    ) -> list[Node]:
+        bindings: dict[str, Any] = {}
+        tainted_params: set[str] = set()
+        params = _param_names(callee.node)
+        pos = list(call.args)
+        # Drop `self`/`cls` for method calls resolved by name.
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        for i, p in enumerate(params):
+            actual: Optional[ast.AST] = pos[i] if i < len(pos) else None
+            for kw in call.keywords:
+                if kw.arg == p:
+                    actual = kw.value
+            if actual is None:
+                continue  # default applies; bound below
+            token = frame.comm_token(actual)
+            if token is not None:
+                bindings[p] = CommRef(token)
+            else:
+                bindings[p] = frame.sym(actual)
+            if frame.tainted(actual):
+                tainted_params.add(p)
+        _bind_defaults(callee.node, bindings, {})
+        ctx = FunctionContext(
+            callee.node, callee.class_name, seed_tainted=tainted_params
+        )
+        assert self.schedule is not None
+        self.schedule.inlined.append(callee.label())
+        sub = _Frame(
+            callee, bindings, ctx, frame.chain + (callee.label(),)
+        )
+        return self._block(
+            list(getattr(callee.node, "body", [])), sub, depth + 1, dynamic
+        ).items
+
+    # -- helpers -------------------------------------------------------------
+
+    def _new_token(self, loc: str) -> str:
+        self._token_counter += 1
+        return f"c{self._token_counter}@{loc}"
+
+    @staticmethod
+    def _loc(frame: _Frame, node: ast.AST) -> str:
+        return f"{os.path.basename(frame.info.path)}:{getattr(node, 'lineno', 0)}"
+
+
+def _comm_names(frame: _Frame) -> set[str]:
+    return {
+        n for n, v in frame.bindings.items() if isinstance(v, CommRef)
+    } | {"self.comm", "self._comm"}
+
+
+def _param_names(fn: ast.AST) -> list[str]:
+    args = getattr(fn, "args", None)
+    if args is None:
+        return []
+    return [a.arg for a in list(args.posonlyargs) + list(args.args)] + [
+        a.arg for a in args.kwonlyargs
+    ]
+
+
+def _bind_defaults(
+    fn: ast.AST, bindings: dict[str, Any], outer: dict[str, Any]
+) -> None:
+    """Bind unbound parameters to their literal defaults (``None``, ints)."""
+    args = getattr(fn, "args", None)
+    if args is None:
+        return
+    pos = list(args.posonlyargs) + list(args.args)
+    for a, d in zip(pos[len(pos) - len(args.defaults):], args.defaults):
+        if a.arg not in bindings and isinstance(d, ast.Constant):
+            bindings[a.arg] = d.value
+    for a, kd in zip(args.kwonlyargs, args.kw_defaults):
+        if a.arg not in bindings and isinstance(kd, ast.Constant):
+            bindings[a.arg] = kd.value
+
+
+def _always_exits(stmts: list[ast.stmt]) -> bool:
+    """Does this block unconditionally return/raise/continue/break?"""
+    for s in stmts:
+        if isinstance(s, (ast.Return, ast.Raise)):
+            return True
+        if isinstance(s, ast.If) and s.orelse:
+            if _always_exits(s.body) and _always_exits(s.orelse):
+                return True
+    return False
+
+
+def _has_comm_op(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            n = _call_name(sub)
+            if n in COLLECTIVE_METHODS or n in P2P_METHODS:
+                return True
+            if n in COLLECTIVE_FUNCTIONS:
+                return True
+    return False
+
+
+def _arg(call: ast.Call, index: int, kw: str) -> Optional[ast.AST]:
+    for k in call.keywords:
+        if k.arg == kw:
+            return k.value
+    if index < len(call.args):
+        return call.args[index]
+    return None
+
+
+# ==========================================================================
+# Entry-point helpers
+# ==========================================================================
+
+
+def extract_schedule(
+    program: Program, path: str, qualname: str
+) -> CommSchedule:
+    """Extract the schedule of the function ``qualname`` defined in ``path``
+    (which must be part of ``program``)."""
+    info = program.functions.get((path, qualname))
+    if info is None:
+        matches = [
+            fi for fi in program.by_name.get(qualname.split(".")[-1], [])
+            if fi.qualname == qualname
+        ]
+        if len(matches) == 1:
+            info = matches[0]
+    if info is None:
+        raise ScheduleError(f"no function {qualname!r} in {path!r}")
+    return Extractor(program).extract(info)
+
+
+def extract_callable(
+    fn: Callable[..., Any], extra_roots: Iterable[str] = ()
+) -> CommSchedule:
+    """Extract the schedule of a live function object (used for entry points
+    registered at runtime): its defining file joins ``src/repro`` in the
+    program index."""
+    path = inspect.getsourcefile(fn)
+    if path is None:
+        raise ScheduleError(f"cannot locate source of {fn!r}")
+    path = os.path.abspath(path)
+    roots = [_repo_src_root(), *extra_roots, path]
+    program = Program.load(roots)
+    qualname = fn.__qualname__.replace(".<locals>.", ".")
+    return extract_schedule(program, path, qualname)
+
+
+def extract_source(
+    source: str, qualname: str, extra_sources: Optional[dict[str, str]] = None
+) -> CommSchedule:
+    """Extract from a source string (test fixtures)."""
+    program = Program.load([_repo_src_root()])
+    path = "<string>"
+    program.sources[path] = source
+    tree = ast.parse(textwrap.dedent(source), filename=path)
+    from .callgraph import _index_functions
+
+    for info in _index_functions(tree, path):
+        program.functions[info.key] = info
+        program.by_name.setdefault(info.name, []).append(info)
+    program._may_collective = None
+    program._may_communicate = None
+    return extract_schedule(program, path, qualname)
+
+
+def _repo_src_root() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))  # .../src/repro/analysis
+    return os.path.dirname(here)  # .../src/repro
+
+
+# ==========================================================================
+# Model checker
+# ==========================================================================
+
+
+@dataclass
+class ScheduleFinding:
+    """One model-checker verdict (deadlock / mismatch / orphaned p2p)."""
+
+    rule: str  #: "R7" (collective divergence) or "R8" (orphaned p2p)
+    loc: str
+    message: str
+    traces: dict[int, list[str]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = [f"{self.loc}: {self.rule} {self.message}"]
+        for rank in sorted(self.traces):
+            tail = self.traces[rank][-6:]
+            joined = " ; ".join(tail) if tail else "(no collectives)"
+            lines.append(f"  rank {rank}: {joined}")
+        return "\n".join(lines)
+
+    def as_finding(self, path: str) -> Finding:
+        line = 0
+        if ":" in self.loc:
+            try:
+                line = int(self.loc.rsplit(":", 1)[1])
+            except ValueError:
+                line = 0
+        return Finding("R8" if self.rule == "R8" else "R7", path, line, 0, self.message)
+
+
+class _RankState:
+    __slots__ = ("rank", "env", "events", "trace")
+
+    def __init__(self, rank: int, size: int):
+        self.rank = rank
+        self.env = RankEnv(rank, size)
+        self.events: list[tuple[Any, ...]] = []
+        self.trace: list[str] = []  #: human-readable collective trace
+
+
+def check_schedule(
+    schedule: CommSchedule, nranks: int = 2
+) -> list[ScheduleFinding]:
+    """Model-check ``schedule`` for ``nranks`` ranks.
+
+    Returns an empty list when the collective sequence provably matches on
+    every rank and every non-dynamic send/recv pairs up; otherwise findings
+    carry per-rank traces naming the diverging operation.
+    """
+    checker = _Checker(schedule, nranks)
+    checker.run()
+    return checker.findings
+
+
+class _Checker:
+    def __init__(self, schedule: CommSchedule, nranks: int):
+        self.schedule = schedule
+        self.nranks = nranks
+        self.findings: list[ScheduleFinding] = []
+        self.ranks = [_RankState(r, nranks) for r in range(nranks)]
+        #: token -> list of member-rank groups (root: one group of all)
+        self.groups: dict[str, list[list[int]]] = {
+            _ROOT_TOKEN: [list(range(nranks))]
+        }
+        self.sends: list[tuple[int, Any, Any, str, bool]] = []
+        self.recvs: list[tuple[int, Any, Any, str, bool]] = []
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> None:
+        self._walk(self.schedule.body, list(range(self.nranks)), dynamic=False)
+        self._check_collective_consistency()
+        self._check_p2p()
+
+    # -- walking -----------------------------------------------------------
+
+    def _walk(self, node: Node, active: list[int], dynamic: bool) -> None:
+        if not active:
+            return
+        if isinstance(node, Seq):
+            for item in node.items:
+                self._walk(item, active, dynamic)
+            return
+        if isinstance(node, Coll):
+            self._coll(node, active)
+            return
+        if isinstance(node, Send):
+            self._p2p(node, active, dynamic, is_send=True)
+            return
+        if isinstance(node, Recv):
+            self._p2p(node, active, dynamic, is_send=False)
+            return
+        if isinstance(node, Opaque):
+            for r in active:
+                self.ranks[r].events.append(("opaque", node.name, node.loc))
+                self.ranks[r].trace.append(f"<opaque {node.name}> @ {node.loc}")
+            return
+        if isinstance(node, Branch):
+            self._branch(node, active, dynamic)
+            return
+        if isinstance(node, Loop):
+            self._loop(node, active, dynamic)
+            return
+
+    def _coll(self, node: Coll, active: list[int]) -> None:
+        if node.op in ("split", "split_cached") and node.new_token:
+            self._split(node, active)
+        for r in active:
+            self.ranks[r].events.append(("coll", node.op, node.comm, node.loc))
+            self.ranks[r].trace.append(f"{node.op} @ {node.loc}")
+
+    def _split(self, node: Coll, active: list[int]) -> None:
+        colors: dict[int, Any] = {}
+        for r in active:
+            colors[r] = eval_sym(node.color, self.ranks[r].env)
+        token = str(node.new_token)
+        if any(c is UNKNOWN for c in colors.values()):
+            return  # membership unknown; ops on this token compare globally
+        by_color: dict[Any, list[int]] = {}
+        for r, c in sorted(colors.items()):
+            if isinstance(c, (int, float)) and c < 0:
+                continue  # undefined color: rank gets no subcomm
+            by_color.setdefault(c, []).append(r)
+        groups = [members for _, members in sorted(by_color.items(), key=lambda kv: str(kv[0]))]
+        self.groups[token] = groups
+        for members in groups:
+            for idx, r in enumerate(sorted(members)):
+                self.ranks[r].env.comm_env[token] = (idx, len(members))
+
+    def _p2p(
+        self, node: Union[Send, Recv], active: list[int], dynamic: bool,
+        is_send: bool,
+    ) -> None:
+        dyn = dynamic or node.dynamic
+        for r in active:
+            st = self.ranks[r]
+            expr = node.dest if is_send else node.source  # type: ignore[union-attr]
+            peer = eval_sym(expr, st.env) if expr is not None else (
+                UNKNOWN if is_send else -1  # recv() default: ANY_SOURCE
+            )
+            tag = eval_sym(node.tag, st.env) if node.tag is not None else (
+                0 if is_send else -1
+            )
+            if tag is UNKNOWN and node.tag is not None:
+                tag = f"~{node.tag.sig()}"
+            # Map a subcomm-local peer to a global rank when membership known.
+            gpeer = peer
+            if (
+                isinstance(peer, int)
+                and peer >= 0
+                and node.comm != _ROOT_TOKEN
+                and node.comm in self.groups
+            ):
+                for members in self.groups[node.comm]:
+                    if r in members:
+                        srt = sorted(members)
+                        gpeer = srt[peer] if peer < len(srt) else UNKNOWN
+                        break
+            entry = (r, gpeer, tag, node.loc, dyn or gpeer is UNKNOWN)
+            (self.sends if is_send else self.recvs).append(entry)
+
+    def _branch(self, node: Branch, active: list[int], dynamic: bool) -> None:
+        vals = {r: eval_sym(node.cond, self.ranks[r].env) for r in active}
+        known = all(v is not UNKNOWN for v in vals.values())
+        if known:
+            take = [r for r in active if vals[r]]
+            skip = [r for r in active if not vals[r]]
+            self._walk(node.then, take, dynamic)
+            self._walk(node.orelse, skip, dynamic)
+            return
+        # Undecidable condition.  A uniform condition means every rank takes
+        # the same arm, so record a choice composite; a rank-dependent one
+        # may split ranks arbitrarily — the arms must then have *identical*
+        # collective footprints, or this is exactly the R1/R7 deadlock.
+        # P2p inside either arm may or may not execute, so it is recorded as
+        # dynamic (existence-level matching only).
+        then_events, then_traces = self._subwalk(node.then, active, dynamic=True)
+        else_events, else_traces = self._subwalk(node.orelse, active, dynamic=True)
+        if node.rank_dependent:
+            for r in active:
+                pa = _project_all(then_events[r])
+                pb = _project_all(else_events[r])
+                if pa != pb:
+                    self.findings.append(
+                        ScheduleFinding(
+                            rule="R7",
+                            loc=node.loc,
+                            message=(
+                                "rank-dependent branch with undecidable "
+                                f"predicate `{node.cond.sig() if node.cond else '?'}` "
+                                "has differing collective footprints: "
+                                f"taken={pa or '()'} vs not-taken={pb or '()'}"
+                                + (f" (via {node.via})" if node.via else "")
+                            ),
+                            traces={
+                                r: then_traces[r] or ["(no collectives)"],
+                            },
+                        )
+                    )
+                    break
+            # Model the "all take / none take" envelope for the remainder.
+            self._emit_choice(node, active, then_events, else_events,
+                              then_traces, else_traces)
+            return
+        self._emit_choice(node, active, then_events, else_events,
+                          then_traces, else_traces)
+
+    def _emit_choice(
+        self,
+        node: Branch,
+        active: list[int],
+        then_events: dict[int, list[tuple[Any, ...]]],
+        else_events: dict[int, list[tuple[Any, ...]]],
+        then_traces: dict[int, list[str]],
+        else_traces: dict[int, list[str]],
+    ) -> None:
+        for r in active:
+            pa = _project_all(then_events[r])
+            pb = _project_all(else_events[r])
+            if pa == pb:
+                # Arms agree on collectives: inline one arm's events.
+                self.ranks[r].events.extend(then_events[r])
+                self.ranks[r].trace.extend(then_traces[r])
+            else:
+                self.ranks[r].events.append(("choice", pa, pb, node.loc))
+                self.ranks[r].trace.append(
+                    f"either[{'/'.join(_fmt_proj(pa))} | "
+                    f"{'/'.join(_fmt_proj(pb))}] @ {node.loc}"
+                )
+
+    def _loop(self, node: Loop, active: list[int], dynamic: bool) -> None:
+        if node.kind == "range":
+            bounds = {
+                r: eval_sym(node.bound, self.ranks[r].env) for r in active
+            }
+            starts = {
+                r: eval_sym(node.start, self.ranks[r].env) for r in active
+            }
+            if all(
+                isinstance(bounds[r], int) and isinstance(starts[r], int)
+                for r in active
+            ):
+                distinct = {(starts[r], bounds[r]) for r in active}
+                if len(distinct) == 1:
+                    lo, hi = next(iter(distinct))
+                    for i in range(lo, min(hi, lo + 4 * self.nranks + 8)):
+                        self._walk_with_target(node, active, dynamic, i)
+                    return
+                # Rank-dependent trip count: collectives inside would run a
+                # different number of times per rank.
+                self._flag_rank_loop(node, active)
+                return
+        if node.kind == "rank":
+            self._flag_rank_loop(node, active)
+            return
+        # Dynamic loop: uniform-but-unknown trip count.  Emit one abstract
+        # iteration as a star composite.
+        events, traces = self._subwalk(node.body, active, dynamic=True)
+        for r in active:
+            proj = _project_all(events[r])
+            if proj:
+                self.ranks[r].events.append(("star", proj, node.loc))
+                self.ranks[r].trace.append(
+                    f"repeat[{'/'.join(_fmt_proj(proj))}] @ {node.loc}"
+                )
+
+    def _flag_rank_loop(self, node: Loop, active: list[int]) -> None:
+        events, traces = self._subwalk(node.body, active, dynamic=True)
+        flagged = False
+        for r in active:
+            proj = [e for e in _project_all(events[r]) if e[0] != "opaque"]
+            if proj and not flagged:
+                self.findings.append(
+                    ScheduleFinding(
+                        rule="R7",
+                        loc=node.loc,
+                        message=(
+                            "collective inside a loop whose trip count is "
+                            "rank-dependent — ranks execute "
+                            f"{_fmt_proj(proj)} a differing number of times"
+                        ),
+                        traces={r: traces[r]},
+                    )
+                )
+                flagged = True
+            if _project_all(events[r]):
+                self.ranks[r].events.append(
+                    ("star", tuple(_project_all(events[r])), node.loc)
+                )
+                self.ranks[r].trace.append(
+                    f"repeat?[{'/'.join(_fmt_proj(_project_all(events[r])))}] @ {node.loc}"
+                )
+
+    def _walk_with_target(
+        self, node: Loop, active: list[int], dynamic: bool, i: int
+    ) -> None:
+        """One unrolled range iteration: bind the loop variable to ``i``."""
+        if node.target is not None:
+            rebound = _bind_in_tree(node.body, node.target, i)
+            self._walk(rebound, active, dynamic)
+        else:
+            self._walk(node.body, active, dynamic)
+
+    def _subwalk(
+        self, node: Node, active: list[int], dynamic: bool = False
+    ) -> tuple[dict[int, list[tuple[Any, ...]]], dict[int, list[str]]]:
+        """Walk a subtree into fresh per-rank buffers (for composites)."""
+        saved_events = {r: self.ranks[r].events for r in active}
+        saved_traces = {r: self.ranks[r].trace for r in active}
+        for r in active:
+            self.ranks[r].events = []
+            self.ranks[r].trace = []
+        self._walk(node, active, dynamic)
+        events = {r: self.ranks[r].events for r in active}
+        traces = {r: self.ranks[r].trace for r in active}
+        for r in active:
+            self.ranks[r].events = saved_events[r]
+            self.ranks[r].trace = saved_traces[r]
+        return events, traces
+
+    # -- verdicts ----------------------------------------------------------
+
+    def _check_collective_consistency(self) -> None:
+        """Per communicator group, every member's projected collective
+        sequence must be identical."""
+        for token, groups in sorted(self.groups.items()):
+            for members in groups:
+                self._compare_group(token, members)
+        # Tokens with unknown membership: compare across every rank that
+        # touched them (lockstep approximation).
+        known = set(self.groups)
+        unknown_tokens = sorted(
+            {
+                e[2]
+                for st in self.ranks
+                for e in st.events
+                if e[0] == "coll" and e[2] not in known
+            }
+        )
+        for token in unknown_tokens:
+            members = [
+                st.rank
+                for st in self.ranks
+                if any(e[0] == "coll" and e[2] == token for e in st.events)
+            ]
+            self._compare_group(token, members)
+
+    def _compare_group(self, token: str, members: list[int]) -> None:
+        if len(members) < 2:
+            return
+        seqs = {
+            r: _project_token(self.ranks[r].events, token) for r in members
+        }
+        ref_rank = members[0]
+        ref = seqs[ref_rank]
+        for r in members[1:]:
+            if seqs[r] == ref:
+                continue
+            k = _first_diff(ref, seqs[r])
+            mine = seqs[r][k] if k < len(seqs[r]) else None
+            theirs = ref[k] if k < len(ref) else None
+            self.findings.append(
+                ScheduleFinding(
+                    rule="R7",
+                    loc=_loc_of(mine) or _loc_of(theirs) or self.schedule.entry,
+                    message=(
+                        f"collective sequence diverges on comm {token}: "
+                        f"rank {ref_rank} executes {_fmt_ev(theirs)} as "
+                        f"collective #{k + 1}, rank {r} executes "
+                        f"{_fmt_ev(mine)}"
+                    ),
+                    traces={
+                        ref_rank: self.ranks[ref_rank].trace,
+                        r: self.ranks[r].trace,
+                    },
+                )
+            )
+            return  # one finding per group keeps reports readable
+
+    def _check_p2p(self) -> None:
+        strict_sends = [s for s in self.sends if not s[4]]
+        strict_recvs = [list(x) + [False] for x in self.recvs if not x[4]]
+        dyn_send_ranks = {s[0] for s in self.sends if s[4]}
+        dyn_recv_ranks = {x[0] for x in self.recvs if x[4]}
+        for (src, dest, tag, loc, _dyn) in strict_sends:
+            matched = False
+            for rec in strict_recvs:
+                r_rank, r_src, r_tag, _r_loc, _r_dyn, used = rec
+                if used:
+                    continue
+                if r_rank != dest:
+                    continue
+                if r_src not in (-1, src) and r_src is not UNKNOWN:
+                    continue
+                if r_tag not in (-1, tag) and not (
+                    isinstance(r_tag, str) or isinstance(tag, str)
+                ):
+                    continue
+                rec[5] = True
+                matched = True
+                break
+            if not matched and dest not in dyn_recv_ranks and dest is not UNKNOWN:
+                self.findings.append(
+                    ScheduleFinding(
+                        rule="R8",
+                        loc=loc,
+                        message=(
+                            f"send from rank {src} to rank {dest} (tag {tag}) "
+                            "has no statically matching recv — unreachable "
+                            "rendezvous"
+                        ),
+                        traces={src: self.ranks[src].trace},
+                    )
+                )
+        for rec in strict_recvs:
+            r_rank, r_src, r_tag, r_loc, _r_dyn, used = rec
+            if used:
+                continue
+            if r_src == -1 or r_src is UNKNOWN:
+                if self.sends:
+                    continue  # some send may feed an ANY_SOURCE recv
+            elif r_src in dyn_send_ranks:
+                continue
+            elif any(
+                s[0] == r_src and s[1] in (r_rank, UNKNOWN) for s in self.sends
+            ):
+                continue
+            self.findings.append(
+                ScheduleFinding(
+                    rule="R8",
+                    loc=str(r_loc),
+                    message=(
+                        f"recv on rank {r_rank} from "
+                        f"{'ANY' if r_src == -1 else r_src} (tag {r_tag}) has "
+                        "no statically matching send — the rank blocks forever"
+                    ),
+                    traces={int(r_rank): self.ranks[int(r_rank)].trace},
+                )
+            )
+
+
+# -- event projection helpers ----------------------------------------------
+
+
+def _project_all(events: list[tuple[Any, ...]]) -> tuple[Any, ...]:
+    """Collective-relevant projection of an event list (p2p dropped)."""
+    out = []
+    for e in events:
+        if e[0] in ("coll", "star", "choice", "opaque"):
+            out.append(e)
+    return tuple(out)
+
+
+def _project_token(
+    events: list[tuple[Any, ...]], token: str
+) -> tuple[Any, ...]:
+    out: list[tuple[Any, ...]] = []
+    for e in events:
+        if e[0] == "coll" and e[2] == token:
+            out.append(e)
+        elif e[0] == "star":
+            body = _project_token_nested(e[1], token)
+            if body:
+                out.append(("star", body, e[2]))
+        elif e[0] == "choice":
+            a = _project_token_nested(e[1], token)
+            b = _project_token_nested(e[2], token)
+            if a or b:
+                out.append(("choice", a, b, e[3]))
+        elif e[0] == "opaque":
+            out.append(e)
+    return tuple(out)
+
+
+def _project_token_nested(
+    events: Iterable[tuple[Any, ...]], token: str
+) -> tuple[Any, ...]:
+    return _project_token(list(events), token)
+
+
+def _first_diff(a: tuple[Any, ...], b: tuple[Any, ...]) -> int:
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return i
+    return min(len(a), len(b))
+
+
+def _fmt_ev(e: Optional[tuple[Any, ...]]) -> str:
+    if e is None:
+        return "<nothing — the rank has already finished>"
+    if e[0] == "coll":
+        return f"`{e[1]}` at {e[3]}"
+    if e[0] == "star":
+        return f"repeat[{'/'.join(_fmt_proj(e[1]))}] at {e[2]}"
+    if e[0] == "choice":
+        return f"either-of at {e[3]}"
+    if e[0] == "opaque":
+        return f"<opaque {e[1]}> at {e[2]}"
+    return str(e)
+
+
+def _fmt_proj(proj: Iterable[tuple[Any, ...]]) -> list[str]:
+    out = []
+    for e in proj:
+        if e[0] == "coll":
+            out.append(str(e[1]))
+        elif e[0] == "star":
+            out.append("repeat[...]")
+        elif e[0] == "choice":
+            out.append("either[...]")
+        else:
+            out.append(str(e[0]))
+    return out
+
+
+def _loc_of(e: Optional[tuple[Any, ...]]) -> Optional[str]:
+    if e is None:
+        return None
+    if e[0] == "coll":
+        return str(e[3])
+    if e[0] in ("star", "opaque"):
+        return str(e[2])
+    if e[0] == "choice":
+        return str(e[3])
+    return None
+
+
+def _bind_in_tree(node: Node, name: str, value: int) -> Node:
+    """A copy of ``node`` with ``name`` bound to ``value`` in every SymExpr
+    environment (loop unrolling)."""
+    import copy
+
+    out = copy.deepcopy(node)
+
+    def rec(n: Node) -> None:
+        for attr in ("cond", "dest", "source", "tag", "bound", "start", "color"):
+            expr = getattr(n, attr, None)
+            if isinstance(expr, SymExpr) and name not in expr.env:
+                expr.env[name] = value
+        if isinstance(n, Seq):
+            for item in n.items:
+                rec(item)
+        elif isinstance(n, Branch):
+            rec(n.then)
+            rec(n.orelse)
+        elif isinstance(n, Loop):
+            rec(n.body)
+
+    rec(out)
+    return out

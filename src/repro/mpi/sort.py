@@ -66,7 +66,7 @@ def sample_sort(
     slices = _split_by_splitters(keys, splitters)
     out_k = comm.alltoallv([keys[s] for s in slices])
     merged_k = np.concatenate(out_k) if out_k else keys[:0]
-    if payload is not None:
+    if payload is not None:  # spmdlint: ignore[R7] -- payload uniformity is an API contract: every rank of `comm` passes a payload or none does, so all ranks agree on this arm (and its alltoallv)
         out_p = comm.alltoallv([payload[s] for s in slices])
         merged_p = np.concatenate(out_p)
     order = np.argsort(merged_k, kind="stable")
@@ -119,7 +119,7 @@ def kway_sort(
                 sends_p[dest] = payload[s]
         recv = cur.alltoallv(sends)
         keys = np.concatenate(recv)
-        if payload is not None:
+        if payload is not None:  # spmdlint: ignore[R7] -- payload uniformity is an API contract (see sample_sort): all ranks agree on this arm's alltoallv
             recv_p = cur.alltoallv(
                 [p if p is not None else payload[:0] for p in sends_p]
             )
@@ -131,7 +131,7 @@ def kway_sort(
     # Final stage: flat sample sort within the last (<= k ranks) block...
     # which alone does not yield a *global* order across blocks; the staged
     # routing above already ensured block g holds only keys below block g+1.
-    if payload is not None:
+    if payload is not None:  # spmdlint: ignore[R7] -- payload uniformity is an API contract (see sample_sort): both arms run one sample_sort; only the uniform payload alltoallv differs
         return sample_sort(cur, keys, payload)
     return sample_sort(cur, keys)
 

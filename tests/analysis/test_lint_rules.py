@@ -134,6 +134,186 @@ class TestR1RankDivergentCollective:
         assert rules_of(fs) == ["R1"]
 
 
+class TestTaintFixpoint:
+    """Rank-taint must reach a fixpoint through every binding form the
+    analyzer models: tuple unpacking, walrus, aug-assign, loop targets."""
+
+    def test_tuple_unpack_propagates_taint(self):
+        fs = lint(
+            """
+            def f(comm):
+                lo, hi = comm.rank, comm.rank + 1
+                if hi > 2:
+                    comm.barrier()
+            """
+        )
+        assert rules_of(fs) == ["R1"]
+
+    def test_tuple_unpack_of_uniform_values_is_clean(self):
+        fs = lint(
+            """
+            def f(comm, n):
+                lo, hi = 0, n
+                if hi > 2:
+                    comm.barrier()
+            """
+        )
+        assert fs == []
+
+    def test_walrus_propagates_taint(self):
+        fs = lint(
+            """
+            def f(comm):
+                if (r := comm.rank) and r > 0:
+                    comm.barrier()
+                return r
+            """
+        )
+        assert rules_of(fs) == ["R1"]
+
+    def test_walrus_of_uniform_value_is_clean(self):
+        fs = lint(
+            """
+            def f(comm, n):
+                if (m := n * 2) > 4:
+                    comm.barrier()
+                return m
+            """
+        )
+        assert fs == []
+
+    def test_aug_assign_propagates_taint(self):
+        fs = lint(
+            """
+            def f(comm, n):
+                acc = 0
+                acc += comm.rank
+                if acc > n:
+                    comm.allreduce(acc)
+            """
+        )
+        assert rules_of(fs) == ["R1"]
+
+    def test_aug_assign_of_uniform_value_is_clean(self):
+        fs = lint(
+            """
+            def f(comm, n):
+                acc = 0
+                acc += n
+                if acc > 4:
+                    comm.allreduce(acc)
+            """
+        )
+        assert fs == []
+
+    def test_for_target_over_tainted_iterable_propagates(self):
+        fs = lint(
+            """
+            def f(comm):
+                got = comm.recv(source=0)
+                for v in got:
+                    if v:
+                        comm.barrier()
+            """
+        )
+        assert "R1" in rules_of(fs)
+
+    def test_for_target_over_uniform_iterable_is_clean(self):
+        fs = lint(
+            """
+            def f(comm, items):
+                for v in items:
+                    if v:
+                        comm.barrier()
+            """
+        )
+        assert fs == []
+
+    def test_replicated_collective_launders_taint(self):
+        # gather/scan stay rank-dependent; allreduce of a tainted value is
+        # replicated and safe to branch on.
+        fs = lint(
+            """
+            def f(comm):
+                moved = comm.rank * 2
+                total = comm.allreduce(moved)
+                if total > 0:
+                    comm.barrier()
+            """
+        )
+        assert fs == []
+
+    def test_scan_does_not_launder_taint(self):
+        fs = lint(
+            """
+            def f(comm):
+                part = comm.scan(1)
+                if part > 2:
+                    comm.barrier()
+            """
+        )
+        assert rules_of(fs) == ["R1"]
+
+
+class TestR7DivergentCollectiveViaHelpers:
+    def test_helper_chain_under_rank_branch(self):
+        fs = lint(
+            """
+            def _reduce_all(comm, x):
+                return comm.allreduce(x)
+
+            def helper(comm, x):
+                return _reduce_all(comm, x)
+
+            def f(comm):
+                if comm.rank == 0:
+                    return helper(comm, 1)
+                return 0
+            """
+        )
+        assert "R7" in rules_of(fs)
+        r7 = next(f for f in fs if f.rule == "R7")
+        assert "helper" in r7.message and "allreduce" in r7.message
+
+    def test_direct_collective_is_r1_not_r7(self):
+        fs = lint(
+            """
+            def f(comm):
+                if comm.rank == 0:
+                    comm.allreduce(1)
+            """
+        )
+        assert rules_of(fs) == ["R1"]
+
+    def test_uniform_branch_through_helpers_is_clean(self):
+        fs = lint(
+            """
+            def helper(comm, x):
+                return comm.allreduce(x)
+
+            def f(comm, n):
+                if n > 4:
+                    return helper(comm, 1)
+                return 0
+            """
+        )
+        assert fs == []
+
+    def test_collective_free_helper_is_clean(self):
+        fs = lint(
+            """
+            def helper(x):
+                return x * 2
+
+            def f(comm):
+                if comm.rank == 0:
+                    return helper(1)
+                return 0
+            """
+        )
+        assert fs == []
+
+
 class TestR2UnorderedIteration:
     def test_send_loop_over_dict(self):
         fs = lint(
@@ -479,8 +659,10 @@ class TestSuppressions:
 
 
 class TestDriverAndCli:
-    def test_rule_catalogue_has_all_six(self):
-        assert set(rule_catalogue()) == {"R1", "R2", "R3", "R4", "R5", "R6"}
+    def test_rule_catalogue_has_all_eight(self):
+        assert set(rule_catalogue()) == {
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
+        }
 
     def test_rule_filter(self):
         code = """

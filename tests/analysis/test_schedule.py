@@ -1,0 +1,288 @@
+"""Tests for the whole-program comm-schedule extractor + model checker
+(:mod:`repro.analysis.schedule`).
+
+Covers: extraction over every registered SPMD entry point (including the
+cross-backend equivalence-suite programs), schedule shape, the interprocedural
+R7/R8 verdicts with per-rank traces, suppression honoring, and the JSON
+export / CLI surface.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.schedule import (
+    CommSchedule,
+    check_schedule,
+    count_ops,
+    extract_callable,
+    extract_source,
+)
+from repro.runtime.entry_points import (
+    load_default_entry_points,
+    registered_entry_points,
+    spmd_entry_point,
+)
+
+from ..runtime import spmd_programs  # registers tests.* entry points
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+# --------------------------------------------------------------------------
+# Entry-point coverage: every registered program extracts and verifies clean
+
+
+class TestRegisteredEntryPoints:
+    def test_default_registry_includes_batch_worker(self):
+        eps = load_default_entry_points()
+        assert "scenarios.batch_worker" in eps
+
+    def test_equivalence_programs_registered(self):
+        eps = registered_entry_points()
+        for name in spmd_programs.EQUIVALENCE_PROGRAMS:
+            assert name in eps, name
+
+    @pytest.mark.parametrize(
+        "name", sorted(spmd_programs.EQUIVALENCE_PROGRAMS)
+    )
+    def test_extracts_without_opacity(self, name):
+        fn, _ = spmd_programs.EQUIVALENCE_PROGRAMS[name]
+        sched = extract_callable(fn)
+        assert isinstance(sched, CommSchedule)
+        assert sched.opaque == [], sched.opaque
+
+    @pytest.mark.parametrize(
+        "name", sorted(spmd_programs.EQUIVALENCE_PROGRAMS)
+    )
+    def test_model_check_proves_deadlock_freedom(self, name):
+        fn, nranks = spmd_programs.EQUIVALENCE_PROGRAMS[name]
+        findings = check_schedule(extract_callable(fn), nranks=nranks)
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_batch_worker_schedule_is_communication_free(self):
+        eps = load_default_entry_points()
+        sched = extract_callable(eps["scenarios.batch_worker"])
+        assert count_ops(sched) == {}
+        assert check_schedule(sched, nranks=4) == []
+
+    def test_closure_entry_point_rejected(self):
+        def make():
+            def inner(comm):
+                return comm.rank
+
+            return inner
+
+        with pytest.raises(TypeError, match="closure"):
+            spmd_entry_point("tests.bogus_closure")(make())
+
+
+class TestScheduleShape:
+    def test_collectives_battery_ops(self):
+        fn, _ = spmd_programs.EQUIVALENCE_PROGRAMS["tests.collectives_battery"]
+        ops = count_ops(extract_callable(fn))
+        assert ops == {
+            "coll.allreduce": 2,
+            "coll.bcast": 1,
+            "coll.gather": 1,
+            "coll.allgather": 1,
+            "coll.scatter": 1,
+            "coll.scan": 1,
+            "coll.exscan": 1,
+            "coll.alltoallv": 1,
+            "coll.barrier": 1,
+        }
+
+    def test_p2p_ring_has_loop_bounded_send_recv(self):
+        fn, _ = spmd_programs.EQUIVALENCE_PROGRAMS["tests.p2p_ring"]
+        ops = count_ops(extract_callable(fn))
+        assert ops == {"send": 1, "recv": 1}  # one each, inside range loops
+
+    def test_library_sorts_inline_through_helpers(self):
+        fn, _ = spmd_programs.EQUIVALENCE_PROGRAMS["tests.distributed_sort"]
+        sched = extract_callable(fn)
+        inlined = set(sched.inlined)
+        assert any("sample_sort" in i for i in inlined)
+        assert any("kway_sort" in i for i in inlined)
+        assert any("kway_stage_comms" in i for i in inlined)
+
+    def test_json_export_round_trips(self):
+        fn, _ = spmd_programs.EQUIVALENCE_PROGRAMS["tests.split_subcomm_traffic"]
+        sched = extract_callable(fn)
+        data = json.loads(json.dumps(sched.to_dict()))
+        assert data["qualname"] == "split_subcomm_program"
+        kinds = [item["kind"] for item in data["schedule"]["items"]]
+        assert "coll" in kinds
+
+
+# --------------------------------------------------------------------------
+# Model-checker verdicts on seeded-defect fixtures
+
+
+DIVERGENT_VIA_HELPERS = '''
+def _sum_all(comm, x):
+    return comm.allreduce(x)
+
+def _helper(comm, x):
+    return _sum_all(comm, x)
+
+def entry(comm):
+    comm.bcast(None, root=0)
+    if comm.rank == 0:
+        total = _helper(comm, 1)
+    else:
+        comm.barrier()
+    return None
+'''
+
+
+ORPHANED_SEND = '''
+def entry(comm):
+    if comm.rank == 0:
+        comm.send(1, 1, tag=7)
+    comm.barrier()
+    return None
+'''
+
+
+RECV_DEADLOCK = '''
+def entry(comm):
+    got = comm.recv(source=(comm.rank + 1) % comm.size, tag=9)
+    return got
+'''
+
+
+class TestSeededDefects:
+    def test_divergent_collective_via_helper_chain(self):
+        """The acceptance fixture: a rank-divergent collective reached only
+        through two helper inlines must be statically rejected, with
+        per-rank traces naming the diverging collective."""
+        sched = extract_source(DIVERGENT_VIA_HELPERS, "entry")
+        findings = check_schedule(sched, nranks=2)
+        assert findings, "deadlock fixture not rejected"
+        f = findings[0]
+        assert f.rule == "R7"
+        assert "allreduce" in f.message and "barrier" in f.message
+        # Per-rank traces: both ranks' collective histories are attached.
+        assert set(f.traces) == {0, 1}
+        text = f.format()
+        assert "rank 0" in text and "rank 1" in text
+
+    def test_orphaned_send_is_r8(self):
+        sched = extract_source(ORPHANED_SEND, "entry")
+        findings = check_schedule(sched, nranks=2)
+        assert any(f.rule == "R8" for f in findings)
+        r8 = next(f for f in findings if f.rule == "R8")
+        assert "send" in r8.message
+
+    def test_recv_ring_head_to_head_is_r8(self):
+        sched = extract_source(RECV_DEADLOCK, "entry")
+        findings = check_schedule(sched, nranks=2)
+        assert findings and all(f.rule == "R8" for f in findings)
+
+    def test_uniform_branch_is_clean(self):
+        src = '''
+def entry(comm, flag):
+    if flag:
+        comm.allreduce(1)
+    else:
+        comm.allreduce(2)
+    return None
+'''
+        assert check_schedule(extract_source(src, "entry"), nranks=3) == []
+
+    def test_suppression_silences_extractor_r7(self):
+        src = '''
+def entry(comm, n):
+    if comm.rank < n:  # spmdlint: ignore[R7] -- fixture: asserted collectively consistent
+        comm.barrier()
+    else:
+        comm.barrier()
+    return None
+'''
+        assert check_schedule(extract_source(src, "entry"), nranks=3) == []
+
+    def test_rank_loop_over_collectives_is_r7(self):
+        src = '''
+def entry(comm):
+    for _ in range(comm.rank):
+        comm.barrier()
+    return None
+'''
+        findings = check_schedule(extract_source(src, "entry"), nranks=3)
+        assert any(f.rule == "R7" for f in findings)
+
+    def test_split_groups_checked_independently(self):
+        src = '''
+def entry(comm):
+    sub = comm.split(comm.rank % 2)
+    sub.allreduce(sub.rank)
+    return None
+'''
+        assert check_schedule(extract_source(src, "entry"), nranks=4) == []
+
+
+# --------------------------------------------------------------------------
+# CLI surface
+
+
+class TestScheduleCli:
+    def _run(self, *argv):
+        env = dict(
+            os.environ,
+            PYTHONPATH=os.pathsep.join([os.path.join(REPO, "src"), REPO]),
+        )
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *argv],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO,
+        )
+
+    def test_schedule_export_and_check(self, tmp_path):
+        out = tmp_path / "schedule.json"
+        r = self._run(
+            "--schedule", str(out), "--check", "--nranks", "4",
+            "tests.runtime.spmd_programs:collectives_battery_program",
+        )
+        assert r.returncode == 0, r.stderr
+        data = json.loads(out.read_text())
+        key = "tests.runtime.spmd_programs:collectives_battery_program"
+        assert key in data["entry_points"]
+        assert data["entry_points"][key]["findings"] == []
+        assert data["entry_points"][key]["ops"]["coll.barrier"] == 1
+
+    def test_baseline_ratchet(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def f(comm):\n    if comm.rank:\n        comm.barrier()\n"
+        )
+        base = tmp_path / "base.json"
+        r = self._run(str(bad), "--write-baseline", str(base))
+        assert r.returncode == 0
+        # Existing finding is accepted by the baseline...
+        r = self._run(str(bad), "--baseline", str(base))
+        assert r.returncode == 0, r.stdout
+        assert "1 in baseline" in r.stdout
+        # ...a new finding still trips the gate.
+        bad.write_text(
+            bad.read_text()
+            + "\ndef g(comm):\n    if comm.rank:\n        comm.allreduce(1)\n"
+        )
+        r = self._run(str(bad), "--baseline", str(base))
+        assert r.returncode == 1
+        assert "allreduce" in r.stdout
+
+    def test_suppression_counts_in_summary(self, tmp_path):
+        p = tmp_path / "sup.py"
+        p.write_text(
+            "def f(comm):\n    if comm.rank:\n"
+            "        comm.barrier()  # spmdlint: ignore[R1] -- test fixture\n"
+        )
+        r = self._run(str(p))
+        assert r.returncode == 0
+        assert "1 suppression used (R1: 1)" in r.stdout

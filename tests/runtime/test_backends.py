@@ -8,9 +8,8 @@ import os
 import numpy as np
 import pytest
 
-from repro.mpi.comm import MAX, SpmdError, run_spmd
-from repro.mpi.sort import is_globally_sorted, kway_sort, sample_sort
-from repro.mpi.sparse_exchange import dense_exchange, nbx_exchange
+from repro.mpi.comm import SpmdError, run_spmd
+from repro.mpi.sparse_exchange import nbx_exchange
 from repro.mpi.stats import CommStats
 from repro.runtime import (
     ProcessBackend,
@@ -18,6 +17,14 @@ from repro.runtime import (
     get_backend,
     resolve_backend,
     resolve_timeout,
+)
+
+from .spmd_programs import (
+    collectives_battery_program,
+    distributed_sort_program,
+    nbx_dense_program,
+    p2p_ring_program,
+    split_subcomm_program,
 )
 
 BACKENDS = ["thread", "serial"] + (
@@ -61,45 +68,13 @@ class TestEquivalence:
             for d in range(n)
             if s != d
         }
-
-        def fn(comm):
-            for d in range(comm.size):
-                if d != comm.rank:
-                    comm.send(payloads[(comm.rank, d)], d, tag=d)
-            acc = 0.0
-            for s in range(comm.size):
-                if s != comm.rank:
-                    acc += float(comm.recv(source=s, tag=comm.rank).sum())
-            return acc
-
-        assert_equivalent(run_all_backends(n, fn))
+        assert_equivalent(run_all_backends(n, p2p_ring_program, payloads))
 
     @pytest.mark.parametrize("seed", [0, 3])
     def test_collectives_battery(self, seed):
         rng = np.random.default_rng(seed)
         vecs = [rng.standard_normal(8) for _ in range(4)]
-
-        def fn(comm):
-            v = vecs[comm.rank]
-            out = {
-                "allreduce": comm.allreduce(v),
-                "max": comm.allreduce(float(v[0]), MAX),
-                "bcast": comm.bcast(v if comm.rank == 2 else None, root=2),
-                "gather": comm.gather(float(v.sum()), root=1),
-                "allgather": comm.allgather(comm.rank * 2),
-                "scatter": comm.scatter(
-                    list(range(comm.size)) if comm.rank == 0 else None
-                ),
-                "scan": comm.scan(comm.rank + 1),
-                "exscan": comm.exscan(comm.rank + 1),
-                "alltoallv": comm.alltoallv(
-                    [np.arange(d + 1, dtype=np.int64) for d in range(comm.size)]
-                ),
-            }
-            comm.barrier()
-            return out
-
-        assert_equivalent(run_all_backends(4, fn))
+        assert_equivalent(run_all_backends(4, collectives_battery_program, vecs))
 
     @pytest.mark.parametrize("seed", [0, 7])
     def test_nbx_and_dense_exchange(self, seed):
@@ -112,39 +87,20 @@ class TestEquivalence:
             }
             for _ in range(n)
         ]
+        assert_equivalent(run_all_backends(n, nbx_dense_program, outgoing))
 
-        def fn(comm):
-            got_nbx = nbx_exchange(comm, outgoing[comm.rank])
-            comm.barrier()
-            got_dense = dense_exchange(comm, outgoing[comm.rank])
-            assert sorted(got_nbx) == sorted(got_dense)
-            return {s: got_nbx[s].sum() for s in sorted(got_nbx)}
-
-        assert_equivalent(run_all_backends(n, fn))
-
-    @pytest.mark.parametrize("sorter,kw", [(sample_sort, {}), (kway_sort, {"k": 2})])
-    def test_distributed_sort(self, sorter, kw):
+    @pytest.mark.parametrize("sorter,k", [("sample", 0), ("kway", 2)])
+    def test_distributed_sort(self, sorter, k):
         rng = np.random.default_rng(42)
         data = [
             rng.integers(0, 2**60, 800).astype(np.uint64) for _ in range(8)
         ]
-
-        def fn(comm):
-            out = sorter(comm, data[comm.rank], **kw)
-            assert is_globally_sorted(comm, out)
-            return out
-
-        assert_equivalent(run_all_backends(8, fn))
+        assert_equivalent(
+            run_all_backends(8, distributed_sort_program, data, sorter, k)
+        )
 
     def test_split_and_subcomm_traffic(self):
-        def fn(comm):
-            sub = comm.split(comm.rank % 2)
-            tot = sub.allreduce(comm.rank)
-            sub.send(np.full(4, comm.rank), (sub.rank + 1) % sub.size, tag=3)
-            got = sub.recv(tag=3)
-            return (sub.size, tot, int(got[0]))
-
-        assert_equivalent(run_all_backends(6, fn))
+        assert_equivalent(run_all_backends(6, split_subcomm_program))
 
 
 class TestProcessBackend:
